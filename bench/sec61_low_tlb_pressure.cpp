@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces the unnumbered §6.1 result: on SPEC'17 Int applications
+ * that exhibit little TLB pressure, PTEMagnet delivers only 0-1%
+ * improvement — and, critically for cloud deployment, *never* a
+ * slowdown. This is the "overhead-free" property that lets PTEMagnet be
+ * enabled unconditionally.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "workload/catalog.hpp"
+
+int
+main()
+{
+    using namespace ptm::sim;
+
+    std::printf("Section 6.1: low-TLB-pressure SPEC'17 Int class under "
+                "colocation with objdet\n");
+    std::printf("%-12s %14s %14s %13s\n", "benchmark", "base cycles",
+                "ptm cycles", "improvement");
+
+    bool any_regression = false;
+    std::vector<double> improvements;
+    for (const std::string &name : ptm::workload::low_pressure_names()) {
+        ScenarioConfig config;
+        config.victim = name;
+        config.corunners = {{"objdet", 8}};
+        config.scale = 0.5;
+        config.measure_ops = 400'000;
+
+        PairedResult pair = run_paired(config);
+        double improvement = pair.improvement_percent();
+        improvements.push_back(improvement);
+        any_regression |= improvement < -0.25;
+        std::printf("%-12s %14llu %14llu %+12.2f%%\n", name.c_str(),
+                    static_cast<unsigned long long>(
+                        pair.baseline.victim_cycles),
+                    static_cast<unsigned long long>(
+                        pair.ptemagnet.victim_cycles),
+                    improvement);
+    }
+    std::printf("%-12s %14s %14s %+12.2f%%\n", "Geomean", "", "",
+                geomean_improvement(improvements));
+    std::printf("\n%s\n",
+                any_regression
+                    ? "REGRESSION DETECTED — violates the paper's claim!"
+                    : "no slowdowns: PTEMagnet is safe to enable "
+                      "unconditionally (paper: 0-1%% gains here).");
+    return 0;
+}

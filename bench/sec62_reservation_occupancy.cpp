@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces §6.2: the incidence of non-allocated (reserved but never
+ * mapped) pages within PTEMagnet reservations, sampled periodically over
+ * each benchmark's execution and reported as the peak fraction of the
+ * benchmark's resident set.
+ *
+ * Paper: never exceeds 0.2% of the benchmark's physical footprint —
+ * applications fill their reservations quickly, so reclamation hardly
+ * ever has anything to shoot down.
+ */
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+#include "workload/catalog.hpp"
+
+int
+main()
+{
+    using namespace ptm::sim;
+
+    std::printf("Section 6.2: peak reserved-but-unmapped pages within "
+                "reservations\n");
+    std::printf("%-10s %18s %16s %12s\n", "benchmark", "peak unused/RSS",
+                "reservations", "PaRT hits");
+
+    for (const std::string &name : ptm::workload::benchmark_names()) {
+        ScenarioConfig config;
+        config.victim = name;
+        config.corunners = {{"objdet", 8}};
+        config.use_ptemagnet = true;
+        config.scale = 0.5;
+        config.measure_ops = 400'000;
+
+        ScenarioResult result = run_scenario(config);
+        std::printf("%-10s %17.3f%% %16llu %12llu\n", name.c_str(),
+                    100.0 * result.peak_unused_reservation_fraction,
+                    static_cast<unsigned long long>(
+                        result.reservations_created),
+                    static_cast<unsigned long long>(result.part_hits));
+    }
+
+    std::printf("\npaper reference: peak never exceeds 0.2%% of the "
+                "benchmark's footprint.\n");
+    std::printf("note: the peak occurs mid-initialization (sweeping "
+                "faults leave each group\npartially mapped for a short "
+                "while); steady-state occupancy is near zero.\n");
+    return 0;
+}

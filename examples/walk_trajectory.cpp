@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Visualizes the paper's Figures 1-4: how interleaved allocation breaks
+ * guest-physical (== host-virtual) contiguity, how that scatters host
+ * PTEs across cache lines, and what a nested walk trajectory looks like
+ * for eight neighbouring pages — with and without PTEMagnet.
+ *
+ * Run: ./build/examples/walk_trajectory
+ */
+#include <cstdio>
+#include <set>
+
+#include "core/ptemagnet_provider.hpp"
+#include "host/host_kernel.hpp"
+#include "vm/guest_kernel.hpp"
+
+namespace {
+
+using namespace ptm;
+
+void
+show(bool use_ptemagnet)
+{
+    host::HostKernel host(64 * 1024);
+    host::VmInstance &vm = host.create_vm();
+    vm::GuestKernel guest(32 * 1024);
+    if (use_ptemagnet) {
+        guest.set_provider(
+            std::make_unique<core::PtemagnetProvider>(&guest));
+    }
+
+    vm::Process &app = guest.create_process("app");
+    vm::Process &noisy = guest.create_process("co-runner");
+    Addr app_base = app.vas().mmap(kReservationBytes);
+    Addr noisy_base = noisy.vas().mmap(64 * kPageSize);
+
+    // Figure 1/4: the app touches its 8-page region while the co-runner
+    // keeps allocating — faults interleave 1:2.
+    std::uint64_t noisy_vpn = page_number(noisy_base);
+    for (unsigned i = 0; i < 8; ++i) {
+        guest.handle_fault(app, page_number(app_base) + i);
+        guest.handle_fault(noisy, noisy_vpn++);
+        guest.handle_fault(noisy, noisy_vpn++);
+    }
+
+    std::printf("%s\n",
+                use_ptemagnet ? "--- with PTEMagnet ---"
+                              : "--- default Linux allocator ---");
+    std::printf("%5s %10s %12s %16s %16s\n", "page", "gvpn", "gfn",
+                "gPTE cache line", "hPTE cache line");
+
+    std::set<std::uint64_t> hpte_lines;
+    for (unsigned i = 0; i < 8; ++i) {
+        std::uint64_t gvpn = page_number(app_base) + i;
+        std::uint64_t gfn = app.page_table().lookup(gvpn)->frame();
+        // Touch the host side (lazy backing) so the hPTE slot exists.
+        host.handle_fault(vm, gfn);
+        Addr gpte = *app.page_table().leaf_entry_paddr(gvpn);
+        Addr hpte = *vm.page_table().leaf_entry_paddr(gfn);
+        hpte_lines.insert(line_number(hpte));
+        std::printf("%5u %10llu %12llu %16llu %16llu\n", i,
+                    static_cast<unsigned long long>(gvpn),
+                    static_cast<unsigned long long>(gfn),
+                    static_cast<unsigned long long>(line_number(gpte)),
+                    static_cast<unsigned long long>(line_number(hpte)));
+    }
+    std::printf("=> the 8 neighbouring pages' host PTEs span %zu cache "
+                "line(s)\n\n", hpte_lines.size());
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf(
+        "Eight virtually-contiguous pages of an application, allocated\n"
+        "while a co-runner's faults interleave (Figures 1-4 of the "
+        "paper).\nGuest PTEs always share one line (indexed by virtual "
+        "address);\nhost PTEs only do if guest-physical contiguity "
+        "survived.\n\n");
+    show(false);
+    show(true);
+    std::printf(
+        "A nested walk for each page must fetch its hPTE line; scattered\n"
+        "lines mean up to 8 distinct memory blocks per group (Figure "
+        "2b),\npacked lines mean one (Figure 2a). That difference is the\n"
+        "entire performance effect measured in the evaluation benches.\n");
+    return 0;
+}

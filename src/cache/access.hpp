@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Access classification shared by the cache hierarchy and the page walker.
+ *
+ * The paper's analysis hinges on separating, per memory-hierarchy level,
+ * accesses made to ordinary data from accesses made to guest-PT and
+ * host-PT nodes during nested walks; the hierarchy keeps stats per kind.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ptm::cache {
+
+/// Who is asking for this cache line.
+enum class AccessKind : std::uint8_t {
+    Data = 0,     ///< application load/store
+    GuestPt = 1,  ///< page walker touching a guest page-table node
+    HostPt = 2,   ///< page walker touching a host page-table node
+};
+
+inline constexpr unsigned kAccessKindCount = 3;
+
+inline std::string
+access_kind_name(AccessKind kind)
+{
+    switch (kind) {
+      case AccessKind::Data: return "data";
+      case AccessKind::GuestPt: return "guest-pt";
+      case AccessKind::HostPt: return "host-pt";
+    }
+    return "unknown";
+}
+
+/// Which level of the hierarchy served an access.
+enum class ServedBy : std::uint8_t {
+    L1 = 0,
+    L2 = 1,
+    Llc = 2,
+    Memory = 3,
+};
+
+inline constexpr unsigned kServedByCount = 4;
+
+inline std::string
+served_by_name(ServedBy level)
+{
+    switch (level) {
+      case ServedBy::L1: return "L1";
+      case ServedBy::L2: return "L2";
+      case ServedBy::Llc: return "LLC";
+      case ServedBy::Memory: return "memory";
+    }
+    return "unknown";
+}
+
+}  // namespace ptm::cache

@@ -1,0 +1,120 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace ptm::cache {
+
+Cache::Cache(const CacheGeometry &geometry, Rng *rng) : geometry_(geometry)
+{
+    num_sets_ = geometry_.num_sets();
+    if (num_sets_ == 0 || (num_sets_ & (num_sets_ - 1)) != 0) {
+        ptm_fatal("%s: set count %llu is not a nonzero power of two "
+                  "(size=%llu ways=%u)",
+                  geometry_.name.c_str(),
+                  static_cast<unsigned long long>(num_sets_),
+                  static_cast<unsigned long long>(geometry_.size_bytes),
+                  geometry_.ways);
+    }
+    set_shift_ = static_cast<unsigned>(std::countr_zero(num_sets_));
+
+    sets_.resize(num_sets_);
+    for (Set &set : sets_) {
+        set.ways.resize(geometry_.ways);
+        set.policy =
+            make_replacement_policy(geometry_.replacement, geometry_.ways,
+                                    rng);
+    }
+}
+
+int
+Cache::find_way(const Set &set, std::uint64_t tag) const
+{
+    for (unsigned w = 0; w < set.ways.size(); ++w) {
+        if (set.ways[w].valid && set.ways[w].tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+Cache::install(Set &set, std::uint64_t tag)
+{
+    // Prefer an invalid way; otherwise evict the policy's victim.
+    for (unsigned w = 0; w < set.ways.size(); ++w) {
+        if (!set.ways[w].valid) {
+            set.ways[w] = {tag, true};
+            set.policy->touch(w);
+            return;
+        }
+    }
+    unsigned victim = set.policy->victim();
+    set.ways[victim] = {tag, true};
+    set.policy->touch(victim);
+}
+
+bool
+Cache::access(std::uint64_t line, AccessKind kind)
+{
+    Set &set = sets_[set_index(line)];
+    std::uint64_t tag = tag_of(line);
+    int way = find_way(set, tag);
+    if (way >= 0) {
+        set.policy->touch(static_cast<unsigned>(way));
+        stats_.hits[static_cast<unsigned>(kind)].inc();
+        return true;
+    }
+    stats_.misses[static_cast<unsigned>(kind)].inc();
+    install(set, tag);
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t line) const
+{
+    const Set &set = sets_[set_index(line)];
+    return find_way(set, tag_of(line)) >= 0;
+}
+
+void
+Cache::fill(std::uint64_t line)
+{
+    Set &set = sets_[set_index(line)];
+    std::uint64_t tag = tag_of(line);
+    if (find_way(set, tag) < 0)
+        install(set, tag);
+}
+
+void
+Cache::invalidate(std::uint64_t line)
+{
+    Set &set = sets_[set_index(line)];
+    int way = find_way(set, tag_of(line));
+    if (way >= 0)
+        set.ways[static_cast<unsigned>(way)].valid = false;
+}
+
+void
+Cache::flush()
+{
+    for (Set &set : sets_) {
+        for (Way &way : set.ways)
+            way.valid = false;
+    }
+}
+
+std::uint64_t
+Cache::resident_lines() const
+{
+    std::uint64_t n = 0;
+    for (const Set &set : sets_) {
+        for (const Way &way : set.ways) {
+            if (way.valid)
+                ++n;
+        }
+    }
+    return n;
+}
+
+}  // namespace ptm::cache

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tag-only set-associative cache model.
+ *
+ * The simulator only needs hit/miss behaviour and eviction order, never
+ * line contents, so a cache is an array of sets of tags plus a replacement
+ * policy per set. Write-allocate, no dirty tracking (latency is symmetric
+ * for the metrics the paper reports).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/access.hpp"
+#include "cache/replacement.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ptm::cache {
+
+/// Static shape of one cache level.
+struct CacheGeometry {
+    std::string name = "cache";
+    std::uint64_t size_bytes = 32 * 1024;
+    unsigned ways = 8;
+    ReplacementKind replacement = ReplacementKind::Lru;
+
+    std::uint64_t num_sets() const
+    {
+        return size_bytes / (static_cast<std::uint64_t>(ways) *
+                             kCacheLineSize);
+    }
+};
+
+/// Hit/miss counters, broken down by access kind.
+struct CacheStats {
+    Counter hits[kAccessKindCount];
+    Counter misses[kAccessKindCount];
+
+    std::uint64_t
+    total_hits() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &c : hits)
+            n += c.value();
+        return n;
+    }
+
+    std::uint64_t
+    total_misses() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &c : misses)
+            n += c.value();
+        return n;
+    }
+};
+
+/**
+ * One cache level. Lines are identified by line number (physical address
+ * >> 6); set index is the low bits of the line number.
+ */
+class Cache {
+  public:
+    /// @param rng required only for random replacement; may be null.
+    Cache(const CacheGeometry &geometry, Rng *rng = nullptr);
+
+    /**
+     * Look up @p line; on a miss the line is installed (evicting the
+     * policy's victim).
+     * @return true on hit.
+     */
+    bool access(std::uint64_t line, AccessKind kind);
+
+    /// Look up without installing or updating recency (test/metric hook).
+    bool probe(std::uint64_t line) const;
+
+    /// Install @p line without counting it as an access (fill from below).
+    void fill(std::uint64_t line);
+
+    /// Drop a line if present (models invalidation).
+    void invalidate(std::uint64_t line);
+
+    /// Drop everything.
+    void flush();
+
+    const CacheGeometry &geometry() const { return geometry_; }
+    const CacheStats &stats() const { return stats_; }
+    void reset_stats() { stats_ = CacheStats{}; }
+
+    /// Number of valid lines currently resident (metric/test hook).
+    std::uint64_t resident_lines() const;
+
+  private:
+    struct Way {
+        std::uint64_t tag = 0;
+        bool valid = false;
+    };
+
+    struct Set {
+        std::vector<Way> ways;
+        std::unique_ptr<ReplacementPolicy> policy;
+    };
+
+    std::uint64_t set_index(std::uint64_t line) const
+    {
+        return line & (num_sets_ - 1);
+    }
+    std::uint64_t tag_of(std::uint64_t line) const { return line >> set_shift_; }
+
+    int find_way(const Set &set, std::uint64_t tag) const;
+    void install(Set &set, std::uint64_t tag);
+
+    CacheGeometry geometry_;
+    std::uint64_t num_sets_;
+    unsigned set_shift_;
+    std::vector<Set> sets_;
+    CacheStats stats_;
+};
+
+}  // namespace ptm::cache

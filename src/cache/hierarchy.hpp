@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-core cache hierarchy with latency accounting.
+ *
+ * Models the platform of the paper's Table 2 at reduced scale: per-core
+ * private L1D and L2, one shared LLC, flat main-memory latency. Every
+ * access is tagged with an AccessKind so the hierarchy can answer the
+ * paper's central question — from where are guest-PT vs host-PT accesses
+ * served (§3.3, Tables 1 and 4).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/access.hpp"
+#include "cache/cache.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ptm::cache {
+
+/// Shape and timing of the whole hierarchy.
+struct HierarchyConfig {
+    CacheGeometry l1 = {"L1D", 16 * 1024, 8, ReplacementKind::Lru};
+    CacheGeometry l2 = {"L2", 64 * 1024, 8, ReplacementKind::Lru};
+    CacheGeometry llc = {"LLC", 256 * 1024, 16, ReplacementKind::Lru};
+
+    Cycles l1_latency = 4;
+    Cycles l2_latency = 14;
+    Cycles llc_latency = 44;
+    Cycles memory_latency = 220;
+};
+
+/// Outcome of one hierarchy access.
+struct AccessResult {
+    ServedBy served_by = ServedBy::L1;
+    Cycles latency = 0;
+};
+
+/// Counters of where accesses of each kind were served from.
+struct HierarchyStats {
+    Counter served[kAccessKindCount][kServedByCount];
+    Counter accesses[kAccessKindCount];
+    Counter cycles[kAccessKindCount];
+
+    std::uint64_t
+    served_by_memory(AccessKind kind) const
+    {
+        return served[static_cast<unsigned>(kind)]
+                     [static_cast<unsigned>(ServedBy::Memory)].value();
+    }
+};
+
+/**
+ * The hierarchy: private L1/L2 per core, shared LLC. Inclusive fills — a
+ * line served by memory is installed at every level on the access path.
+ */
+class MemoryHierarchy {
+  public:
+    MemoryHierarchy(const HierarchyConfig &config, unsigned num_cores,
+                    Rng *rng = nullptr);
+
+    /**
+     * Access physical address @p paddr from @p core.
+     * @return the serving level and its latency.
+     */
+    AccessResult access(unsigned core, Addr paddr, AccessKind kind);
+
+    /// Latency that an access served by @p level costs.
+    Cycles latency_of(ServedBy level) const;
+
+    /// True if @p paddr currently hits anywhere in @p core's path.
+    bool probe(unsigned core, Addr paddr) const;
+
+    unsigned num_cores() const { return num_cores_; }
+    const HierarchyConfig &config() const { return config_; }
+
+    const HierarchyStats &stats() const { return stats_; }
+    void reset_stats();
+
+    const Cache &l1(unsigned core) const { return *l1_[core]; }
+    const Cache &l2(unsigned core) const { return *l2_[core]; }
+    const Cache &llc() const { return *llc_; }
+
+    /// Drop all cached lines everywhere (e.g. between experiment phases).
+    void flush_all();
+
+  private:
+    HierarchyConfig config_;
+    unsigned num_cores_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::unique_ptr<Cache> llc_;
+    HierarchyStats stats_;
+};
+
+}  // namespace ptm::cache

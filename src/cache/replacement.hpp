@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Replacement policies for set-associative structures.
+ *
+ * A policy instance manages one set of @c ways ways. Policies are tiny and
+ * allocated per-set; the factory returns them by unique_ptr so caches can
+ * be configured at runtime (the ablation benches sweep policies).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ptm::cache {
+
+/// Supported replacement policies.
+enum class ReplacementKind : std::uint8_t {
+    Lru,      ///< true least-recently-used
+    TreePlru, ///< tree pseudo-LRU (as in most real L1s)
+    Random,   ///< uniform random victim
+};
+
+std::string replacement_kind_name(ReplacementKind kind);
+
+/**
+ * Per-set replacement state. `touch` records a use of a way, `victim`
+ * selects the way to evict (invalid ways are chosen by the cache before
+ * consulting the policy).
+ */
+class ReplacementPolicy {
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /// Record that @p way was accessed (hit or fill).
+    virtual void touch(unsigned way) = 0;
+
+    /// Pick the way to evict.
+    virtual unsigned victim() = 0;
+};
+
+/// Construct a policy instance for one set of @p ways ways.
+std::unique_ptr<ReplacementPolicy>
+make_replacement_policy(ReplacementKind kind, unsigned ways, Rng *rng);
+
+}  // namespace ptm::cache

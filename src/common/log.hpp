@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 fatal/panic idiom.
+ *
+ * - ptm_fatal(): the *user's* fault (bad configuration, impossible
+ *   parameters); exits with status 1.
+ * - ptm_panic(): the *simulator's* fault (broken invariant); aborts so a
+ *   debugger or core dump can capture state.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace ptm {
+
+[[noreturn]] void fatal_impl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void panic_impl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warn_impl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ptm
+
+#define ptm_fatal(...) ::ptm::fatal_impl(__FILE__, __LINE__, __VA_ARGS__)
+#define ptm_panic(...) ::ptm::panic_impl(__FILE__, __LINE__, __VA_ARGS__)
+#define ptm_warn(...) ::ptm::warn_impl(__FILE__, __LINE__, __VA_ARGS__)
+
+/// Invariant check that survives NDEBUG: panics with a message on failure.
+#define ptm_assert(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::ptm::panic_impl(__FILE__, __LINE__,                       \
+                              "assertion failed: %s", #cond);           \
+        }                                                               \
+    } while (0)

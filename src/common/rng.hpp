@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and tests.
+ *
+ * Simulation runs must be exactly reproducible given a seed; we use
+ * xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded through
+ * SplitMix64, which is both faster and better-distributed than
+ * std::minstd_rand and, unlike std::mt19937, cheap to copy per-workload.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace ptm {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+ * used with <random> distributions, though workloads mostly use the modulo
+ * helpers below for speed and determinism across standard libraries.
+ */
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9ee4c1d9a2f0b5cdULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). @p bound must be nonzero.
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free-enough reduction; the tiny
+        // modulo bias is irrelevant for workload generation.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /// Uniform double in [0, 1).
+    double
+    uniform()
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli trial with probability @p p.
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+}  // namespace ptm

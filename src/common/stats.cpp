@@ -1,0 +1,29 @@
+#include "common/stats.hpp"
+
+#include "common/log.hpp"
+
+namespace ptm {
+
+double
+MetricSet::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        ptm_panic("unknown metric '%s'", name.c_str());
+    return it->second;
+}
+
+MetricSet
+MetricSet::percent_change_from(const MetricSet &baseline) const
+{
+    MetricSet out;
+    for (const auto &[name, v] : values_) {
+        if (!baseline.has(name))
+            continue;
+        double b = baseline.get(name);
+        out.set(name, b == 0.0 ? 0.0 : 100.0 * (v - b) / b);
+    }
+    return out;
+}
+
+}  // namespace ptm

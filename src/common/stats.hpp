@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Subsystems expose plain structs of Counter/Average members; the sim layer
+ * snapshots and diffs them to produce perf-style deltas, so counters must be
+ * cheap (single u64 increment) and copyable.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ptm {
+
+/// Monotonic event counter.
+class Counter {
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/// Running mean over observed samples.
+class Average {
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+    std::uint64_t count() const { return count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/// Fixed-bucket histogram for distribution-shaped stats (e.g. walk length).
+class Histogram {
+  public:
+    explicit Histogram(std::size_t buckets = 16) : buckets_(buckets, 0) {}
+
+    void
+    sample(std::size_t bucket)
+    {
+        if (bucket >= buckets_.size())
+            bucket = buckets_.size() - 1;
+        ++buckets_[bucket];
+        ++total_;
+    }
+
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t size() const { return buckets_.size(); }
+    std::uint64_t total() const { return total_; }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Named scalar snapshot used by reporters: an ordered name -> value map
+ * that supports elementwise difference and percent-change formatting.
+ */
+class MetricSet {
+  public:
+    void set(const std::string &name, double v) { values_[name] = v; }
+    double get(const std::string &name) const;
+    bool has(const std::string &name) const { return values_.count(name) != 0; }
+
+    const std::map<std::string, double> &values() const { return values_; }
+
+    /// Percent change of each metric relative to @p baseline ((this-b)/b).
+    MetricSet percent_change_from(const MetricSet &baseline) const;
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+}  // namespace ptm

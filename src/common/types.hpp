@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fundamental address, page, and cycle types shared by every subsystem.
+ *
+ * The simulator distinguishes four address spaces (guest-virtual,
+ * guest-physical == host-virtual, and host-physical). To keep interfaces
+ * self-documenting and prevent accidental mixing, each space gets its own
+ * strong typedef built on the same 64-bit machinery.
+ */
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace ptm {
+
+/// Raw 64-bit address value (within some address space).
+using Addr = std::uint64_t;
+
+/// Simulated time / cost unit, expressed in CPU core cycles.
+using Cycles = std::uint64_t;
+
+inline constexpr unsigned kPageShift = 12;
+inline constexpr Addr kPageSize = Addr{1} << kPageShift;          ///< 4 KiB
+inline constexpr Addr kPageOffsetMask = kPageSize - 1;
+
+inline constexpr unsigned kCacheLineShift = 6;
+inline constexpr Addr kCacheLineSize = Addr{1} << kCacheLineShift;  ///< 64 B
+
+inline constexpr unsigned kPteSize = 8;                 ///< x86-64 PTE bytes
+inline constexpr unsigned kPtesPerCacheLine =
+    static_cast<unsigned>(kCacheLineSize) / kPteSize;   ///< 8
+inline constexpr unsigned kPtesPerNode = 512;           ///< radix fan-out
+inline constexpr unsigned kPtLevels = 4;                ///< PML4..PT
+
+/// Pages covered by one leaf-PTE cache line: the paper's 32 KiB group.
+inline constexpr unsigned kPagesPerReservation = kPtesPerCacheLine;
+inline constexpr Addr kReservationBytes = kPagesPerReservation * kPageSize;
+
+/// Round @p a down to the containing page boundary.
+constexpr Addr page_floor(Addr a) { return a & ~kPageOffsetMask; }
+/// Round @p a up to the next page boundary.
+constexpr Addr page_ceil(Addr a) { return (a + kPageOffsetMask) & ~kPageOffsetMask; }
+/// Page frame / page number of @p a.
+constexpr Addr page_number(Addr a) { return a >> kPageShift; }
+/// Byte address of page number @p pn.
+constexpr Addr page_address(Addr pn) { return pn << kPageShift; }
+/// Cache-line (block) number of @p a.
+constexpr Addr line_number(Addr a) { return a >> kCacheLineShift; }
+
+/**
+ * Strongly-typed page-frame or page-number wrapper.
+ *
+ * @tparam Tag disambiguating marker type; the wrapper carries no behaviour
+ *             beyond ordered comparison and explicit conversion.
+ */
+template <typename Tag>
+struct PageId {
+    std::uint64_t value = 0;
+
+    constexpr PageId() = default;
+    constexpr explicit PageId(std::uint64_t v) : value(v) {}
+
+    constexpr auto operator<=>(const PageId &) const = default;
+
+    /// Byte address of the first byte of this page.
+    constexpr Addr address() const { return value << kPageShift; }
+    /// Successor page (next higher page number).
+    constexpr PageId next() const { return PageId{value + 1}; }
+};
+
+struct GuestVirtualTag {};
+struct GuestPhysicalTag {};
+struct HostPhysicalTag {};
+
+/// Guest-virtual page number (what an application sees).
+using Gvpn = PageId<GuestVirtualTag>;
+/// Guest-physical frame number; identically a host-virtual page number.
+using Gfn = PageId<GuestPhysicalTag>;
+/// Host-physical frame number (machine frame).
+using Hfn = PageId<HostPhysicalTag>;
+
+}  // namespace ptm
+
+namespace std {
+template <typename Tag>
+struct hash<ptm::PageId<Tag>> {
+    size_t operator()(const ptm::PageId<Tag> &p) const noexcept
+    {
+        return std::hash<std::uint64_t>{}(p.value);
+    }
+};
+}  // namespace std

@@ -1,0 +1,316 @@
+#include "core/part.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace ptm::core {
+
+/**
+ * Radix node. Levels 0..2 hold child nodes; level 3 holds reservation
+ * entries. Nodes are created on demand and never freed before the tree
+ * itself (so raw parent pointers captured during a descent stay valid);
+ * entries are unlinked with a tombstone protocol so that no thread can
+ * observe a freed entry:
+ *   - a slot pointer may only be read while holding the level-3 node lock;
+ *   - an entry may only be freed while holding the level-3 node lock,
+ *     after a lock/unlock barrier on the entry itself, which guarantees
+ *     every thread that obtained the pointer has finished with it.
+ */
+struct Part::Leaf {
+    std::mutex lock;
+    std::uint64_t base_gfn = 0;
+    std::uint32_t mask = 0;
+    bool valid = true;
+};
+
+struct Part::Node {
+    std::mutex lock;
+    // Children: nodes at levels 0..2, leaves at level 3. Only one of the
+    // two arrays is populated depending on the node's level.
+    std::array<std::unique_ptr<Node>, kFanout> children;
+    std::array<std::unique_ptr<Leaf>, kFanout> entries;
+};
+
+namespace {
+
+unsigned
+index_at(std::uint64_t group, unsigned level)
+{
+    unsigned shift = Part::kBitsPerLevel * (Part::kLevels - 1 - level);
+    return static_cast<unsigned>((group >> shift) &
+                                 (Part::kFanout - 1));
+}
+
+}  // namespace
+
+Part::Part(unsigned pages_per_group)
+    : root_(std::make_unique<Node>()), pages_per_group_(pages_per_group),
+      full_mask_(pages_per_group == 32
+                     ? ~std::uint32_t{0}
+                     : (std::uint32_t{1} << pages_per_group) - 1)
+{
+    if (pages_per_group < 2 || pages_per_group > 32)
+        ptm_fatal("pages_per_group %u out of range [2, 32]",
+                  pages_per_group);
+}
+
+Part::~Part() = default;
+
+/**
+ * Descend to the level-3 node for @p group with hand-over-hand locking.
+ * On return the level-3 node's lock is HELD (via the returned lock) and
+ * the node pointer is valid. If @p create_missing is false and the path
+ * does not exist, returns nullptr with no lock held.
+ */
+static Part::Node *
+descend(Part::Node *root, std::uint64_t group, bool create_missing,
+        std::unique_lock<std::mutex> &out_lock)
+{
+    std::unique_lock<std::mutex> lock(root->lock);
+    Part::Node *node = root;
+    for (unsigned level = 0; level < Part::kLevels - 1; ++level) {
+        unsigned idx = index_at(group, level);
+        if (!node->children[idx]) {
+            if (!create_missing)
+                return nullptr;
+            node->children[idx] = std::make_unique<Part::Node>();
+        }
+        Part::Node *child = node->children[idx].get();
+        std::unique_lock<std::mutex> child_lock(child->lock);
+        lock.swap(child_lock);  // hand-over-hand: parent unlocks last
+        node = child;
+    }
+    out_lock = std::move(lock);
+    return node;
+}
+
+ClaimResult
+Part::claim(std::uint64_t group, unsigned offset)
+{
+    ptm_assert(offset < pages_per_group_);
+    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+
+    std::unique_lock<std::mutex> node_lock;
+    Node *node = descend(root_.get(), group, false, node_lock);
+    if (node == nullptr)
+        return {};
+
+    unsigned slot = index_at(group, kLevels - 1);
+    Leaf *leaf = node->entries[slot].get();
+    if (leaf == nullptr)
+        return {};
+
+    std::unique_lock<std::mutex> leaf_lock(leaf->lock);
+    node_lock.unlock();
+    if (!leaf->valid)
+        return {};  // concurrently deleted: treat as a miss
+
+    std::uint32_t bit = std::uint32_t{1} << offset;
+    if (leaf->mask & bit) {
+        // A concurrent fault on the same page won the race: report the
+        // winner's frame idempotently (the kernel sees an already
+        // present PTE on retry).
+        ClaimResult raced;
+        raced.found = true;
+        raced.gfn = leaf->base_gfn + offset;
+        raced.already_mapped = true;
+        return raced;
+    }
+
+    ClaimResult result;
+    result.found = true;
+    result.gfn = leaf->base_gfn + offset;
+    leaf->mask |= bit;
+    unmapped_reserved_.fetch_sub(1, std::memory_order_relaxed);
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+
+    bool tombstoned = false;
+    if (leaf->mask == full_mask_) {
+        // All eight pages are mapped: the entry is no longer needed and
+        // can be safely deleted (§4.2).
+        leaf->valid = false;
+        tombstoned = true;
+        result.deleted_full = true;
+    }
+    leaf_lock.unlock();
+
+    if (tombstoned) {
+        std::unique_lock<std::mutex> relock(node->lock);
+        if (node->entries[slot].get() == leaf) {
+            // Barrier: wait out any thread that still holds the pointer.
+            leaf->lock.lock();
+            leaf->lock.unlock();
+            node->entries[slot].reset();
+        }
+        live_reservations_.fetch_sub(1, std::memory_order_relaxed);
+        stats_.deletes_full.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+}
+
+std::uint64_t
+Part::create(std::uint64_t group, std::uint64_t base_gfn, unsigned offset)
+{
+    ptm_assert(offset < pages_per_group_);
+
+    std::unique_lock<std::mutex> node_lock;
+    Node *node = descend(root_.get(), group, true, node_lock);
+    ptm_assert(node != nullptr);
+
+    unsigned slot = index_at(group, kLevels - 1);
+    if (node->entries[slot] && node->entries[slot]->valid) {
+        ptm_panic("create over a live reservation for group %llu",
+                  static_cast<unsigned long long>(group));
+    }
+
+    auto leaf = std::make_unique<Leaf>();
+    leaf->base_gfn = base_gfn;
+    leaf->mask = std::uint32_t{1} << offset;
+    node->entries[slot] = std::move(leaf);
+
+    live_reservations_.fetch_add(1, std::memory_order_relaxed);
+    unmapped_reserved_.fetch_add(pages_per_group_ - 1,
+                                 std::memory_order_relaxed);
+    stats_.creates.fetch_add(1, std::memory_order_relaxed);
+    return base_gfn + offset;
+}
+
+ReleaseResult
+Part::release(std::uint64_t group, unsigned offset)
+{
+    ptm_assert(offset < pages_per_group_);
+
+    std::unique_lock<std::mutex> node_lock;
+    Node *node = descend(root_.get(), group, false, node_lock);
+    if (node == nullptr)
+        return {};
+
+    unsigned slot = index_at(group, kLevels - 1);
+    Leaf *leaf = node->entries[slot].get();
+    if (leaf == nullptr)
+        return {};
+
+    std::unique_lock<std::mutex> leaf_lock(leaf->lock);
+    node_lock.unlock();
+    if (!leaf->valid)
+        return {};
+
+    std::uint32_t bit = std::uint32_t{1} << offset;
+    if (!(leaf->mask & bit)) {
+        // Releasing a page the reservation never handed out: kernel-model
+        // bookkeeping error.
+        ptm_panic("release of unmapped page %u in group %llu", offset,
+                  static_cast<unsigned long long>(group));
+    }
+
+    ReleaseResult result;
+    result.found = true;
+    leaf->mask &= ~bit;
+    result.final_mask = leaf->mask;
+    unmapped_reserved_.fetch_add(1, std::memory_order_relaxed);
+
+    bool tombstoned = false;
+    if (leaf->mask == 0) {
+        // Application freed every page it had: drop the reservation and
+        // hand the whole chunk back (§4.3, case 1).
+        leaf->valid = false;
+        tombstoned = true;
+        result.deleted_empty = true;
+        result.base_gfn = leaf->base_gfn;
+    }
+    leaf_lock.unlock();
+
+    if (tombstoned) {
+        std::unique_lock<std::mutex> relock(node->lock);
+        if (node->entries[slot].get() == leaf) {
+            leaf->lock.lock();
+            leaf->lock.unlock();
+            node->entries[slot].reset();
+        }
+        live_reservations_.fetch_sub(1, std::memory_order_relaxed);
+        unmapped_reserved_.fetch_sub(pages_per_group_,
+                                     std::memory_order_relaxed);
+        stats_.deletes_free.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+}
+
+std::optional<ReservationView>
+Part::find(std::uint64_t group) const
+{
+    std::unique_lock<std::mutex> node_lock;
+    Node *node = descend(const_cast<Node *>(root_.get()), group, false,
+                         node_lock);
+    if (node == nullptr)
+        return std::nullopt;
+
+    unsigned slot = index_at(group, kLevels - 1);
+    Leaf *leaf = node->entries[slot].get();
+    if (leaf == nullptr)
+        return std::nullopt;
+
+    std::unique_lock<std::mutex> leaf_lock(leaf->lock);
+    node_lock.unlock();
+    if (!leaf->valid)
+        return std::nullopt;
+    return ReservationView{group, leaf->base_gfn, leaf->mask};
+}
+
+namespace {
+
+void
+drain_node(Part::Node *node, unsigned level, std::uint64_t prefix,
+           unsigned pages_per_group,
+           const std::function<void(const ReservationView &)> &fn,
+           std::uint64_t &removed_entries, std::uint64_t &removed_unmapped)
+{
+    std::unique_lock<std::mutex> lock(node->lock);
+    if (level == Part::kLevels - 1) {
+        for (unsigned i = 0; i < Part::kFanout; ++i) {
+            Part::Leaf *leaf = node->entries[i].get();
+            if (leaf == nullptr)
+                continue;
+            leaf->lock.lock();
+            bool valid = leaf->valid;
+            ReservationView view{(prefix << Part::kBitsPerLevel) | i,
+                                 leaf->base_gfn, leaf->mask};
+            leaf->valid = false;
+            leaf->lock.unlock();
+            if (valid) {
+                fn(view);
+                ++removed_entries;
+                removed_unmapped += pages_per_group -
+                                    static_cast<unsigned>(
+                                        std::popcount(view.mask));
+            }
+            node->entries[i].reset();
+        }
+        return;
+    }
+    for (unsigned i = 0; i < Part::kFanout; ++i) {
+        if (node->children[i]) {
+            drain_node(node->children[i].get(), level + 1,
+                       (prefix << Part::kBitsPerLevel) | i,
+                       pages_per_group, fn, removed_entries,
+                       removed_unmapped);
+        }
+    }
+}
+
+}  // namespace
+
+void
+Part::drain(const std::function<void(const ReservationView &)> &fn)
+{
+    std::uint64_t removed_entries = 0;
+    std::uint64_t removed_unmapped = 0;
+    drain_node(root_.get(), 0, 0, pages_per_group_, fn, removed_entries,
+               removed_unmapped);
+    live_reservations_.fetch_sub(removed_entries,
+                                 std::memory_order_relaxed);
+    unmapped_reserved_.fetch_sub(removed_unmapped,
+                                 std::memory_order_relaxed);
+}
+
+}  // namespace ptm::core

@@ -1,0 +1,73 @@
+#include "host/host_kernel.hpp"
+
+#include "common/log.hpp"
+
+namespace ptm::host {
+
+VmInstance::VmInstance(std::int32_t id, pt::FrameSource pt_frames)
+    : id_(id),
+      page_table_(std::make_unique<pt::PageTable>(std::move(pt_frames)))
+{
+}
+
+HostKernel::HostKernel(std::uint64_t host_frames, HostCostModel costs)
+    : costs_(costs), buddy_(0, host_frames), memory_(0, host_frames)
+{
+}
+
+HostKernel::~HostKernel()
+{
+    vms_.clear();
+}
+
+pt::FrameSource
+HostKernel::pt_frame_source(std::int32_t vm_id)
+{
+    return pt::FrameSource{
+        .allocate =
+            [this, vm_id]() -> std::optional<std::uint64_t> {
+                std::optional<std::uint64_t> frame = buddy_.allocate_frame();
+                if (frame) {
+                    memory_.set_use(*frame, 1, mem::FrameUse::PageTable,
+                                    vm_id);
+                }
+                return frame;
+            },
+        .release =
+            [this](std::uint64_t frame) {
+                memory_.set_use(frame, 1, mem::FrameUse::Free);
+                buddy_.free(frame);
+            },
+    };
+}
+
+VmInstance &
+HostKernel::create_vm()
+{
+    std::int32_t id = next_vm_id_++;
+    auto vm = std::make_unique<VmInstance>(id, pt_frame_source(id));
+    VmInstance &ref = *vm;
+    vms_.emplace(id, std::move(vm));
+    return ref;
+}
+
+mmu::FaultOutcome
+HostKernel::handle_fault(VmInstance &vm, std::uint64_t gfn)
+{
+    stats_.faults_handled.inc();
+
+    std::optional<std::uint64_t> hfn = buddy_.allocate_frame();
+    if (!hfn)
+        return {.ok = false};
+
+    if (!vm.page_table().map(gfn, {.writable = true, .frame = *hfn}))
+        ptm_fatal("host OOM while allocating host page-table nodes");
+
+    memory_.set_use(*hfn, 1, mem::FrameUse::Data, vm.id());
+    vm.note_backed();
+    stats_.pages_backed.inc();
+
+    return {.ok = true, .frame = *hfn, .cycles = costs_.vmexit_fault};
+}
+
+}  // namespace ptm::host

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Host kernel / hypervisor model (KVM-style, §3.1).
+ *
+ * The host treats each virtual machine as an ordinary process whose
+ * virtual address space *is* the guest-physical space: guest frame number
+ * == host-virtual page number. Host-physical backing is allocated lazily,
+ * one page at a time, on the first touch of each guest frame — which is
+ * why guest-physical fragmentation transfers verbatim into host-PT-leaf
+ * scatter.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/buddy_allocator.hpp"
+#include "mem/physical_memory.hpp"
+#include "mmu/nested_walker.hpp"
+#include "pt/page_table.hpp"
+
+namespace ptm::host {
+
+/// Cycle costs of host-side paths.
+struct HostCostModel {
+    Cycles vmexit_fault = 2600;  ///< VM exit + host fault + re-entry
+};
+
+/// Host kernel activity counters.
+struct HostKernelStats {
+    Counter faults_handled;
+    Counter pages_backed;
+};
+
+/// One virtual machine as seen by the host: a host page table mapping
+/// guest frames to machine frames.
+class VmInstance {
+  public:
+    VmInstance(std::int32_t id, pt::FrameSource pt_frames);
+
+    std::int32_t id() const { return id_; }
+    pt::PageTable &page_table() { return *page_table_; }
+    const pt::PageTable &page_table() const { return *page_table_; }
+
+    std::uint64_t backed_pages() const { return backed_pages_; }
+    void note_backed() { ++backed_pages_; }
+
+  private:
+    std::int32_t id_;
+    std::unique_ptr<pt::PageTable> page_table_;
+    std::uint64_t backed_pages_ = 0;
+};
+
+class HostKernel {
+  public:
+    explicit HostKernel(std::uint64_t host_frames, HostCostModel costs = {});
+    ~HostKernel();
+
+    HostKernel(const HostKernel &) = delete;
+    HostKernel &operator=(const HostKernel &) = delete;
+
+    /// Boot a VM (its guest-physical space is backed on demand).
+    VmInstance &create_vm();
+
+    /**
+     * Host page-fault path: back guest frame @p gfn of @p vm with a fresh
+     * machine frame. Matches the mmu::HostContext callback shape.
+     */
+    mmu::FaultOutcome handle_fault(VmInstance &vm, std::uint64_t gfn);
+
+    mem::BuddyAllocator &buddy() { return buddy_; }
+    mem::PhysicalMemory &memory() { return memory_; }
+    const HostCostModel &costs() const { return costs_; }
+    const HostKernelStats &stats() const { return stats_; }
+
+  private:
+    pt::FrameSource pt_frame_source(std::int32_t vm_id);
+
+    HostCostModel costs_;
+    mem::BuddyAllocator buddy_;
+    mem::PhysicalMemory memory_;
+    std::map<std::int32_t, std::unique_ptr<VmInstance>> vms_;
+    HostKernelStats stats_;
+    std::int32_t next_vm_id_ = 1;
+};
+
+}  // namespace ptm::host

@@ -1,0 +1,217 @@
+#include "mem/buddy_allocator.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ptm::mem {
+
+BuddyAllocator::BuddyAllocator(std::uint64_t base_frame,
+                               std::uint64_t frame_count)
+    : base_frame_(base_frame), frame_count_(frame_count)
+{
+    if (frame_count == 0)
+        ptm_fatal("buddy allocator over an empty frame range");
+
+    // Carve the range into maximal naturally-aligned free blocks.
+    std::uint64_t offset = 0;
+    while (offset < frame_count_) {
+        unsigned order = kMaxOrder;
+        while (order > 0 &&
+               ((offset & ((std::uint64_t{1} << order) - 1)) != 0 ||
+                offset + (std::uint64_t{1} << order) > frame_count_)) {
+            --order;
+        }
+        insert_free_block(base_frame_ + offset, order);
+        free_frames_ += std::uint64_t{1} << order;
+        offset += std::uint64_t{1} << order;
+    }
+}
+
+void
+BuddyAllocator::push_free(std::uint64_t block, unsigned order)
+{
+    auto &list = free_lists_[order];
+    list.stack.push_back(block);
+    list.members.insert(block);
+}
+
+void
+BuddyAllocator::insert_free_block(std::uint64_t block, unsigned order)
+{
+    // Initial seeding inserts lowest-address-first so that a fresh zone
+    // serves ascending addresses (the stack is popped from the back, so we
+    // seed in *descending* address order per order level later; simpler:
+    // push now, then reverse in the constructor). We instead keep seeding
+    // order as-is and rely on pop order being last-pushed-first: the
+    // constructor pushes low addresses first, so we reverse each stack once
+    // seeding completes. To avoid a second pass, push_front semantics are
+    // emulated here by inserting at the beginning.
+    auto &list = free_lists_[order];
+    list.stack.insert(list.stack.begin(), block);
+    list.members.insert(block);
+}
+
+std::optional<std::uint64_t>
+BuddyAllocator::pop_free(unsigned order)
+{
+    auto &list = free_lists_[order];
+    while (!list.stack.empty()) {
+        std::uint64_t block = list.stack.back();
+        list.stack.pop_back();
+        auto it = list.members.find(block);
+        if (it != list.members.end()) {
+            list.members.erase(it);
+            return block;
+        }
+        // Stale entry: block was merged away by a coalesce; skip it.
+    }
+    return std::nullopt;
+}
+
+bool
+BuddyAllocator::take_specific(std::uint64_t block, unsigned order)
+{
+    auto &list = free_lists_[order];
+    auto it = list.members.find(block);
+    if (it == list.members.end())
+        return false;
+    list.members.erase(it);
+    // The matching stack entry becomes stale and is skipped on pop.
+    return true;
+}
+
+std::optional<std::uint64_t>
+BuddyAllocator::allocate(unsigned order)
+{
+    if (order > kMaxOrder)
+        ptm_fatal("allocation order %u exceeds max %u", order, kMaxOrder);
+
+    unsigned avail = order;
+    std::optional<std::uint64_t> block;
+    while (avail <= kMaxOrder) {
+        block = pop_free(avail);
+        if (block)
+            break;
+        ++avail;
+    }
+    if (!block) {
+        stats_.failed_allocs.inc();
+        return std::nullopt;
+    }
+
+    // Split down, returning the low half and freeing the high half, so that
+    // sequential order-0 allocations walk a fresh block in ascending
+    // address order.
+    while (avail > order) {
+        --avail;
+        std::uint64_t high = *block + (std::uint64_t{1} << avail);
+        push_free(high, avail);
+        stats_.splits.inc();
+    }
+
+    allocated_.emplace(*block, order);
+    free_frames_ -= std::uint64_t{1} << order;
+    stats_.alloc_calls.inc();
+    return block;
+}
+
+std::optional<std::uint64_t>
+BuddyAllocator::allocate_split(unsigned order)
+{
+    std::optional<std::uint64_t> block = allocate(order);
+    if (!block)
+        return std::nullopt;
+    auto it = allocated_.find(*block);
+    ptm_assert(it != allocated_.end() && it->second == order);
+    allocated_.erase(it);
+    for (std::uint64_t i = 0; i < (std::uint64_t{1} << order); ++i)
+        allocated_.emplace(*block + i, 0u);
+    return block;
+}
+
+void
+BuddyAllocator::free(std::uint64_t base)
+{
+    auto it = allocated_.find(base);
+    if (it == allocated_.end())
+        ptm_panic("free of frame %llu which is not a live block base",
+                  static_cast<unsigned long long>(base));
+    unsigned order = it->second;
+    allocated_.erase(it);
+
+    free_frames_ += std::uint64_t{1} << order;
+    stats_.free_calls.inc();
+
+    std::uint64_t block = base;
+    while (order < kMaxOrder) {
+        std::uint64_t buddy = buddy_of(block, order);
+        if (buddy + (std::uint64_t{1} << order) > base_frame_ + frame_count_)
+            break;
+        if (!take_specific(buddy, order))
+            break;
+        stats_.merges.inc();
+        block = std::min(block, buddy);
+        ++order;
+    }
+    push_free(block, order);
+}
+
+void
+BuddyAllocator::free_frames(std::uint64_t base, std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        free(base + i);
+}
+
+bool
+BuddyAllocator::can_allocate(unsigned order) const
+{
+    for (unsigned o = order; o <= kMaxOrder; ++o) {
+        if (!free_lists_[o].members.empty())
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+BuddyAllocator::free_blocks_at_order(unsigned order) const
+{
+    return free_lists_[order].members.size();
+}
+
+void
+BuddyAllocator::check_invariants() const
+{
+    std::uint64_t counted_free = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+
+    for (unsigned order = 0; order <= kMaxOrder; ++order) {
+        for (std::uint64_t block : free_lists_[order].members) {
+            std::uint64_t size = std::uint64_t{1} << order;
+            if (block < base_frame_ ||
+                block + size > base_frame_ + frame_count_) {
+                ptm_panic("free block out of range");
+            }
+            if (((block - base_frame_) & (size - 1)) != 0)
+                ptm_panic("free block misaligned for its order");
+            counted_free += size;
+            ranges.emplace_back(block, block + size);
+        }
+    }
+    for (const auto &[base, order] : allocated_) {
+        std::uint64_t size = std::uint64_t{1} << order;
+        ranges.emplace_back(base, base + size);
+        (void)size;
+    }
+    if (counted_free != free_frames_)
+        ptm_panic("free-frame accounting mismatch");
+
+    std::sort(ranges.begin(), ranges.end());
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+        if (ranges[i].first < ranges[i - 1].second)
+            ptm_panic("overlapping blocks in buddy allocator");
+    }
+}
+
+}  // namespace ptm::mem

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Binary buddy allocator over a flat frame space, modelling the Linux
+ * physical page allocator.
+ *
+ * Behavioural properties that the reproduction depends on:
+ *  - order-0 allocations from a fresh zone return ascending, contiguous
+ *    frames (higher-order blocks are split and handed out low-half first),
+ *    so a lone process faulting sequentially gets contiguous physical
+ *    memory — the paper's "isolation" baseline;
+ *  - freed blocks are reused most-recently-freed-first (LIFO, like the
+ *    Linux per-order free lists), so interleaved allocate/free traffic from
+ *    co-runners scatters a victim's allocations — the paper's
+ *    fragmentation-genesis mechanism (§2.4).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ptm::mem {
+
+/// Aggregate counters for allocator activity.
+struct BuddyStats {
+    Counter alloc_calls;       ///< successful allocations
+    Counter failed_allocs;     ///< allocations refused (out of memory)
+    Counter free_calls;        ///< blocks returned
+    Counter splits;            ///< block splits performed
+    Counter merges;            ///< buddy coalesces performed
+};
+
+/**
+ * Binary buddy allocator. Frames are identified by plain frame numbers in
+ * [base_frame, base_frame + frame_count); address-space tagging is done by
+ * the owning kernel model.
+ *
+ * Not thread-safe: guest/host kernels serialize access (the simulated
+ * kernel holds the zone lock), matching Linux's zone->lock discipline.
+ */
+class BuddyAllocator {
+  public:
+    /// Highest supported order (Linux's MAX_ORDER - 1 == 10: 4 MiB blocks).
+    static constexpr unsigned kMaxOrder = 10;
+
+    /**
+     * Construct an allocator over @p frame_count frames starting at
+     * @p base_frame. The whole range starts out free.
+     */
+    BuddyAllocator(std::uint64_t base_frame, std::uint64_t frame_count);
+
+    /**
+     * Allocate a naturally-aligned block of 2^order frames.
+     * @return base frame number of the block, or std::nullopt if no block
+     *         of sufficient size exists (the caller models OOM/reclaim).
+     */
+    std::optional<std::uint64_t> allocate(unsigned order);
+
+    /// Allocate a single frame (order 0).
+    std::optional<std::uint64_t> allocate_frame() { return allocate(0); }
+
+    /**
+     * Allocate a contiguous, aligned block of 2^order frames but register
+     * the frames as 2^order individual order-0 allocations, so each can
+     * later be freed (and coalesced) independently. This is how PTEMagnet
+     * takes a reservation chunk: the pages belong to the OS one by one.
+     */
+    std::optional<std::uint64_t> allocate_split(unsigned order);
+
+    /**
+     * Free a previously-allocated block by its base frame. The order is
+     * recovered from internal bookkeeping; freeing an address that is not
+     * a live block base is a simulator bug and panics.
+     */
+    void free(std::uint64_t base_frame);
+
+    /**
+     * Free @p count order-0 frames individually starting at @p base_frame.
+     * Helper for callers that allocated a high-order block but release it
+     * page-by-page (e.g. partial reservation reclaim).
+     */
+    void free_frames(std::uint64_t base_frame, std::uint64_t count);
+
+    /// Number of frames currently free.
+    std::uint64_t free_frames_count() const { return free_frames_; }
+    /// Number of frames currently allocated.
+    std::uint64_t allocated_frames_count() const
+    {
+        return frame_count_ - free_frames_;
+    }
+    /// Total frames managed.
+    std::uint64_t total_frames() const { return frame_count_; }
+
+    /// True if a block of 2^order frames could be allocated right now.
+    bool can_allocate(unsigned order) const;
+
+    /// Free blocks currently on the given order's list.
+    std::size_t free_blocks_at_order(unsigned order) const;
+
+    /// Activity counters.
+    const BuddyStats &stats() const { return stats_; }
+
+    /**
+     * Exhaustive internal consistency check (test hook): free blocks are
+     * aligned, disjoint, in-range, and the frame accounting adds up.
+     * Panics on violation.
+     */
+    void check_invariants() const;
+
+  private:
+    struct OrderList {
+        // LIFO stack of block bases; entries may be stale (already merged
+        // away) and are skipped at pop time using `members` as the source
+        // of truth.
+        std::vector<std::uint64_t> stack;
+        std::unordered_set<std::uint64_t> members;
+    };
+
+    void push_free(std::uint64_t block, unsigned order);
+    std::optional<std::uint64_t> pop_free(unsigned order);
+    bool take_specific(std::uint64_t block, unsigned order);
+    void insert_free_block(std::uint64_t block, unsigned order);
+
+    std::uint64_t buddy_of(std::uint64_t block, unsigned order) const
+    {
+        return ((block - base_frame_) ^ (std::uint64_t{1} << order)) +
+               base_frame_;
+    }
+
+    std::uint64_t base_frame_;
+    std::uint64_t frame_count_;
+    std::uint64_t free_frames_ = 0;
+    OrderList free_lists_[kMaxOrder + 1];
+    /// live allocated blocks: base frame -> order
+    std::unordered_map<std::uint64_t, unsigned> allocated_;
+    BuddyStats stats_;
+};
+
+}  // namespace ptm::mem

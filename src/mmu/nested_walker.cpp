@@ -1,0 +1,191 @@
+#include "mmu/nested_walker.hpp"
+
+#include "common/log.hpp"
+
+namespace ptm::mmu {
+
+namespace {
+/// Retries bound: a translation can fault at most once per guest level
+/// plus once per host walk; anything beyond signals a broken kernel model.
+constexpr unsigned kMaxAttempts = 16;
+}  // namespace
+
+NestedWalker::NestedWalker(unsigned core, const tlb::TlbConfig &config,
+                           cache::MemoryHierarchy *hierarchy,
+                           HostContext host)
+    : core_(core), hierarchy_(hierarchy), host_(std::move(host)),
+      tlb_(config), pwc_(config), nested_tlb_(config)
+{
+    if (hierarchy_ == nullptr)
+        ptm_fatal("walker needs a cache hierarchy");
+    if (host_.page_table == nullptr || !host_.fault_handler)
+        ptm_fatal("walker needs a complete host context");
+}
+
+std::uint64_t
+NestedWalker::host_translate(std::uint64_t gfn, TranslationResult &result)
+{
+    if (std::optional<std::uint64_t> hfn = nested_tlb_.lookup(gfn)) {
+        stats_.nested_tlb_hits.inc();
+        return *hfn;
+    }
+
+    // 1D walk of the host page table. Every node access goes through the
+    // cache hierarchy tagged HostPt; a non-present entry anywhere means
+    // the host has not yet backed this guest frame and takes a host fault
+    // (lazy allocation, §3.1), after which the walk restarts.
+    stats_.host_walks.inc();
+    for (unsigned attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        std::array<pt::WalkStep, kPtLevels> steps;
+        unsigned n = host_.page_table->walk(gfn, steps);
+        for (unsigned i = 0; i < n; ++i) {
+            cache::AccessResult access = hierarchy_->access(
+                core_, steps[i].entry_paddr, cache::AccessKind::HostPt);
+            result.walk_cycles += access.latency;
+            result.cycles += access.latency;
+            stats_.walk_cycles.inc(access.latency);
+            stats_.host_pt_cycles.inc(access.latency);
+            stats_.host_pt_accesses.inc();
+            if (access.served_by == cache::ServedBy::Memory)
+                stats_.host_pt_mem_accesses.inc();
+        }
+        if (n == kPtLevels && steps[n - 1].pte.present()) {
+            std::uint64_t hfn = steps[n - 1].pte.frame();
+            nested_tlb_.insert(gfn, hfn);
+            return hfn;
+        }
+
+        FaultOutcome fault = host_.fault_handler(gfn);
+        stats_.host_faults.inc();
+        if (!fault.ok)
+            ptm_fatal("host kernel cannot back guest frame (host OOM)");
+        stats_.fault_cycles.inc(fault.cycles);
+        result.cycles += fault.cycles;
+        result.faulted = true;
+    }
+    ptm_panic("host walk did not converge");
+}
+
+std::optional<std::uint64_t>
+NestedWalker::walk_guest_once(GuestContext &guest, std::uint64_t gvpn,
+                              TranslationResult &result)
+{
+    std::array<pt::WalkStep, kPtLevels> steps;
+    unsigned n = guest.page_table->walk(gvpn, steps);
+
+    // The PWC can let the walker skip upper guest levels whose node it
+    // already knows; it caches node frames, so validate the hit against
+    // the current walk (a stale hit after unmap simply misses here).
+    unsigned start_level = 0;
+    if (std::optional<tlb::PageWalkCache::Hit> hit = pwc_.lookup(gvpn)) {
+        if (hit->resume_level < n &&
+            steps[hit->resume_level].node_frame == hit->node_frame) {
+            start_level = hit->resume_level;
+        }
+    }
+
+    for (unsigned i = start_level; i < n; ++i) {
+        const pt::WalkStep &step = steps[i];
+
+        // The guest-PT node lives at a guest-physical frame; the walker
+        // needs its host-physical address first (the "2D" part).
+        std::uint64_t node_hfn = host_translate(step.node_frame, result);
+        Addr entry_hpa =
+            node_hfn * kPageSize + step.index * kPteSize;
+
+        cache::AccessResult access = hierarchy_->access(
+            core_, entry_hpa, cache::AccessKind::GuestPt);
+        result.walk_cycles += access.latency;
+        result.cycles += access.latency;
+        stats_.walk_cycles.inc(access.latency);
+        stats_.guest_pt_cycles.inc(access.latency);
+        stats_.guest_pt_accesses.inc();
+        if (access.served_by == cache::ServedBy::Memory)
+            stats_.guest_pt_mem_accesses.inc();
+
+        if (!step.pte.present()) {
+            // Guest page fault: the guest kernel allocates and maps.
+            FaultOutcome fault = guest.fault_handler(gvpn);
+            stats_.guest_faults.inc();
+            if (!fault.ok)
+                ptm_fatal("guest kernel cannot satisfy page fault "
+                          "(guest OOM)");
+            stats_.fault_cycles.inc(fault.cycles);
+            result.cycles += fault.cycles;
+            result.faulted = true;
+            return std::nullopt;  // retry the walk against the new PT state
+        }
+
+        if (i + 1 < kPtLevels)
+            pwc_.insert(gvpn, i, step.pte.frame());
+    }
+
+    if (n < kPtLevels) {
+        // Non-present intermediate entry already handled above; n < levels
+        // with a present last step cannot happen.
+        ptm_panic("guest walk stopped early without fault");
+    }
+    return steps[kPtLevels - 1].pte.frame();
+}
+
+TranslationResult
+NestedWalker::translate(GuestContext &guest, Addr gva)
+{
+    if (guest.page_table == nullptr || !guest.fault_handler)
+        ptm_fatal("translate() needs a complete guest context");
+
+    TranslationResult result;
+    stats_.translations.inc();
+
+    std::uint64_t gvpn = page_number(gva);
+    tlb::TlbHierarchy::Result tlb_result = tlb_.lookup(gvpn);
+    if (tlb_result.level == tlb::TlbLevel::L1) {
+        stats_.tlb_l1_hits.inc();
+        result.hfn = tlb_result.hfn;
+        result.tlb_hit = true;
+        return result;
+    }
+    if (tlb_result.level == tlb::TlbLevel::L2) {
+        stats_.tlb_l2_hits.inc();
+        result.hfn = tlb_result.hfn;
+        result.tlb_hit = true;
+        result.cycles = kStlbHitPenalty;
+        return result;
+    }
+
+    stats_.tlb_misses.inc();
+    for (unsigned attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        std::optional<std::uint64_t> data_gfn =
+            walk_guest_once(guest, gvpn, result);
+        if (!data_gfn)
+            continue;  // faulted; PT changed; retry
+
+        // Final host walk: translate the data page itself.
+        result.hfn = host_translate(*data_gfn, result);
+        tlb_.insert(gvpn, result.hfn);
+        return result;
+    }
+    ptm_panic("guest translation did not converge");
+}
+
+void
+NestedWalker::invalidate(std::uint64_t gvpn)
+{
+    tlb_.invalidate(gvpn);
+}
+
+void
+NestedWalker::invalidate_nested(std::uint64_t gfn)
+{
+    nested_tlb_.invalidate(gfn);
+}
+
+void
+NestedWalker::flush_all()
+{
+    tlb_.flush();
+    pwc_.flush();
+    nested_tlb_.flush();
+}
+
+}  // namespace ptm::mmu

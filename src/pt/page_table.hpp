@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Four-level radix page table with physically-addressed nodes.
+ *
+ * Each node is one 4 KiB frame of 512 eight-byte entries, obtained from a
+ * caller-supplied frame source (the guest or host buddy allocator), so the
+ * *physical placement* of every PTE — the thing the paper's cache-footprint
+ * argument is about — is exact: the entry for virtual page v at the leaf
+ * level lives at byte address node_frame*4096 + (v & 511)*8.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "pt/pte.hpp"
+
+namespace ptm::pt {
+
+/// Where page-table node frames come from / go back to.
+struct FrameSource {
+    /// Allocate one frame for a PT node; nullopt on OOM.
+    std::function<std::optional<std::uint64_t>()> allocate;
+    /// Return a node frame.
+    std::function<void(std::uint64_t)> release;
+};
+
+/// One step of a page walk, as seen by the hardware walker.
+struct WalkStep {
+    unsigned level = 0;        ///< 0 = root (PML4) .. 3 = leaf (PT)
+    std::uint64_t node_frame = 0;  ///< frame holding the node
+    unsigned index = 0;        ///< entry index within the node
+    Addr entry_paddr = 0;      ///< physical byte address of the entry
+    Pte pte;                   ///< entry value after the step
+};
+
+/// Table-population counters.
+struct PageTableStats {
+    Counter nodes_allocated;
+    Counter nodes_released;
+    Counter mappings;
+    Counter unmappings;
+};
+
+/**
+ * The radix tree. Not thread-safe; the owning kernel serializes updates
+ * (walks from the simulated hardware walker are reads and happen between
+ * kernel operations in the deterministic schedule).
+ */
+class PageTable {
+  public:
+    /// Number of leaf-level entries covered by one table node.
+    static constexpr unsigned kFanout = kPtesPerNode;
+
+    /**
+     * @param frames where node frames come from. The root node is
+     *               allocated eagerly (as the kernel does for a new mm).
+     */
+    explicit PageTable(FrameSource frames);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Install a translation vpn -> fields. Intermediate nodes are created
+     * on demand.
+     * @return false if a node allocation failed (OOM).
+     */
+    bool map(std::uint64_t vpn, const PteFields &fields);
+
+    /// Remove a translation; empty intermediate nodes are kept (as Linux
+    /// does — PT pages are only freed at exit/unmap of whole regions).
+    void unmap(std::uint64_t vpn);
+
+    /// Current leaf entry for @p vpn, if the whole path exists.
+    std::optional<Pte> lookup(std::uint64_t vpn) const;
+
+    /// Overwrite the leaf entry for an existing mapping (e.g. COW resolve).
+    bool update(std::uint64_t vpn, const PteFields &fields);
+
+    /**
+     * Enumerate the node entries a hardware walker would touch translating
+     * @p vpn, root to leaf, stopping after a non-present entry.
+     * @return number of steps written to @p steps (1..4).
+     */
+    unsigned walk(std::uint64_t vpn,
+                  std::array<WalkStep, kPtLevels> &steps) const;
+
+    /**
+     * Physical byte address of the leaf PTE slot for @p vpn, if the leaf
+     * node exists (the entry itself may be non-present). Used by the
+     * fragmentation metric, which is about PTE *placement*.
+     */
+    std::optional<Addr> leaf_entry_paddr(std::uint64_t vpn) const;
+
+    /// Frame of the root node (CR3 equivalent).
+    std::uint64_t root_frame() const { return root_->frame; }
+
+    /// Total nodes currently allocated, all levels.
+    std::uint64_t node_count() const { return node_count_; }
+
+    const PageTableStats &stats() const { return stats_; }
+
+    /// Radix index of @p vpn at @p level (0 = root).
+    static unsigned
+    index_at(std::uint64_t vpn, unsigned level)
+    {
+        unsigned shift = 9 * (kPtLevels - 1 - level);
+        return static_cast<unsigned>((vpn >> shift) & (kFanout - 1));
+    }
+
+  private:
+    struct Node {
+        std::uint64_t frame = 0;
+        std::array<Pte, kFanout> entries{};
+        /// Children, only populated on non-leaf nodes.
+        std::array<std::unique_ptr<Node>, kFanout> children{};
+    };
+
+    std::unique_ptr<Node> make_node();
+    void release_node(Node *node, unsigned level);
+    const Node *descend(std::uint64_t vpn, unsigned to_level) const;
+
+    FrameSource frames_;
+    std::unique_ptr<Node> root_;
+    std::uint64_t node_count_ = 0;
+    PageTableStats stats_;
+};
+
+}  // namespace ptm::pt

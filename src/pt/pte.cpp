@@ -1,0 +1,39 @@
+#include "pt/pte.hpp"
+
+namespace ptm::pt {
+
+Pte
+Pte::encode(const PteFields &fields)
+{
+    std::uint64_t raw = 0;
+    if (fields.present)
+        raw |= kPresentBit;
+    if (fields.writable)
+        raw |= kWritableBit;
+    if (fields.user)
+        raw |= kUserBit;
+    if (fields.accessed)
+        raw |= kAccessedBit;
+    if (fields.dirty)
+        raw |= kDirtyBit;
+    if (fields.cow)
+        raw |= kCowBit;
+    raw |= (fields.frame << kPageShift) & kFrameMask;
+    return Pte{raw};
+}
+
+PteFields
+Pte::decode() const
+{
+    PteFields fields;
+    fields.present = raw_ & kPresentBit;
+    fields.writable = raw_ & kWritableBit;
+    fields.user = raw_ & kUserBit;
+    fields.accessed = raw_ & kAccessedBit;
+    fields.dirty = raw_ & kDirtyBit;
+    fields.cow = raw_ & kCowBit;
+    fields.frame = frame();
+    return fields;
+}
+
+}  // namespace ptm::pt

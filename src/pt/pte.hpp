@@ -1,0 +1,61 @@
+/**
+ * @file
+ * 8-byte page-table-entry codec in the x86-64 layout.
+ *
+ * Only the bits the simulation consumes are modelled, but they sit at their
+ * architectural positions so the per-line packing arithmetic (8 PTEs per
+ * 64-byte cache line) is exact.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ptm::pt {
+
+/// Software view of a decoded PTE.
+struct PteFields {
+    bool present = false;
+    bool writable = true;
+    bool user = true;
+    bool accessed = false;
+    bool dirty = false;
+    bool cow = false;             ///< software bit: copy-on-write pending
+    std::uint64_t frame = 0;      ///< physical frame number
+};
+
+/// Raw 64-bit PTE value.
+class Pte {
+  public:
+    static constexpr std::uint64_t kPresentBit = 1ULL << 0;
+    static constexpr std::uint64_t kWritableBit = 1ULL << 1;
+    static constexpr std::uint64_t kUserBit = 1ULL << 2;
+    static constexpr std::uint64_t kAccessedBit = 1ULL << 5;
+    static constexpr std::uint64_t kDirtyBit = 1ULL << 6;
+    /// AVL bit 9: used by the simulated kernels to mark COW mappings.
+    static constexpr std::uint64_t kCowBit = 1ULL << 9;
+    static constexpr std::uint64_t kFrameMask = 0x000ffffffffff000ULL;
+
+    constexpr Pte() = default;
+    constexpr explicit Pte(std::uint64_t raw) : raw_(raw) {}
+
+    static Pte encode(const PteFields &fields);
+    PteFields decode() const;
+
+    constexpr std::uint64_t raw() const { return raw_; }
+    constexpr bool present() const { return raw_ & kPresentBit; }
+    constexpr bool writable() const { return raw_ & kWritableBit; }
+    constexpr bool cow() const { return raw_ & kCowBit; }
+    constexpr std::uint64_t frame() const
+    {
+        return (raw_ & kFrameMask) >> kPageShift;
+    }
+
+    constexpr bool operator==(const Pte &) const = default;
+
+  private:
+    std::uint64_t raw_ = 0;
+};
+
+}  // namespace ptm::pt

@@ -1,0 +1,164 @@
+#include "sim/experiment.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "core/ptemagnet_provider.hpp"
+#include "workload/catalog.hpp"
+
+namespace ptm::sim {
+
+namespace {
+/// §6.2 sampling cadence, in victim operations (the paper samples every
+/// second of wall time; one sample per ~64k simulated ops is comparable).
+constexpr std::uint64_t kReservationSampleOps = 64 * 1024;
+}  // namespace
+
+ScenarioResult
+run_scenario(const ScenarioConfig &config)
+{
+    unsigned cores = 1;
+    for (const CorunnerSpec &spec : config.corunners)
+        cores += spec.workers;
+    PlatformConfig platform = config.platform;
+    platform.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
+
+    System system(platform, cores);
+    if (config.use_ptemagnet)
+        system.enable_ptemagnet(config.reservation_pages);
+
+    workload::WorkloadOptions options;
+    options.scale = config.scale;
+    options.seed = config.seed;
+
+    Job &victim =
+        system.add_job(workload::make_workload(config.victim, options));
+    unsigned worker_index = 0;
+    for (const CorunnerSpec &spec : config.corunners) {
+        for (unsigned w = 0; w < spec.workers; ++w) {
+            workload::WorkloadOptions co_options = options;
+            co_options.seed = config.seed + 1000 + (++worker_index);
+            system.add_job(
+                workload::make_workload(spec.name, co_options));
+        }
+    }
+
+    ScenarioResult result;
+    auto sample_reservations = [&]() {
+        core::PtemagnetProvider *provider = system.ptemagnet();
+        if (provider == nullptr)
+            return;
+        const core::Part *part = provider->part_of(victim.process().pid());
+        if (part == nullptr || victim.process().rss_pages() == 0)
+            return;
+        double fraction =
+            static_cast<double>(part->unmapped_reserved_pages()) /
+            static_cast<double>(victim.process().rss_pages());
+        if (fraction > result.peak_unused_reservation_fraction)
+            result.peak_unused_reservation_fraction = fraction;
+    };
+
+    // Phase 0: co-runners reach steady state before the victim starts.
+    if (config.corunner_warmup_ops > 0 && !config.corunners.empty()) {
+        victim.set_paused(true);
+        std::uint64_t target = config.corunner_warmup_ops;
+        system.run_until([&system, &victim, target]() {
+            std::uint64_t total = 0;
+            for (auto &job : system.jobs()) {
+                if (job.get() != &victim)
+                    total += job->counters().ops.value();
+            }
+            return total >= target;
+        });
+        victim.set_paused(false);
+    }
+
+    // Phase A: the victim allocates its memory under full colocation —
+    // this is where the allocation-order decisions are made. Sampled
+    // frequently: partially-filled reservations peak mid-allocation.
+    while (!victim.finished() && victim.workload().in_init_phase()) {
+        std::uint64_t before = victim.counters().ops.value();
+        system.run_until([&victim, before]() {
+            return victim.finished() ||
+                   !victim.workload().in_init_phase() ||
+                   // Prime stride: never a multiple of the group size,
+                   // so samples land inside partially-filled groups too.
+                   victim.counters().ops.value() >= before + 4093;
+        });
+        sample_reservations();
+    }
+
+    if (config.stop_corunners_after_init) {
+        for (auto &job : system.jobs()) {
+            if (job.get() != &victim)
+                job->set_paused(true);
+        }
+    }
+
+    // Phase B: measure.
+    if (!config.measure_init)
+        system.reset_measurement();
+    std::uint64_t remaining = config.measure_ops;
+    while (remaining > 0 && !victim.finished()) {
+        std::uint64_t chunk = std::min(remaining, kReservationSampleOps);
+        std::uint64_t before = victim.counters().ops.value();
+        system.run_ops(victim, chunk);
+        std::uint64_t done = victim.counters().ops.value() - before;
+        if (done == 0)
+            break;  // victim finished mid-chunk
+        remaining -= std::min(remaining, done);
+        sample_reservations();
+    }
+
+    result.victim_cycles = victim.counters().cycles.value();
+    result.victim_ops = victim.counters().ops.value();
+    result.metrics = collect_metrics(victim, system.vm());
+    result.fragmentation =
+        host_pt_fragmentation(victim.process(), system.vm());
+
+    if (core::PtemagnetProvider *provider = system.ptemagnet()) {
+        result.reservations_created =
+            provider->stats().reservations_created.value();
+        result.part_hits = provider->stats().part_hits.value();
+        result.buddy_calls = provider->stats().buddy_calls.value();
+    } else {
+        result.buddy_calls =
+            system.guest().buddy().stats().alloc_calls.value();
+    }
+    return result;
+}
+
+double
+PairedResult::improvement_percent() const
+{
+    if (baseline.victim_cycles == 0)
+        return 0.0;
+    double base = static_cast<double>(baseline.victim_cycles);
+    double ptm = static_cast<double>(ptemagnet.victim_cycles);
+    return 100.0 * (base - ptm) / base;
+}
+
+PairedResult
+run_paired(ScenarioConfig config)
+{
+    PairedResult result;
+    config.use_ptemagnet = false;
+    result.baseline = run_scenario(config);
+    config.use_ptemagnet = true;
+    result.ptemagnet = run_scenario(config);
+    return result;
+}
+
+double
+geomean_improvement(const std::vector<double> &percents)
+{
+    if (percents.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double p : percents)
+        log_sum += std::log(1.0 + p / 100.0);
+    return 100.0 *
+           (std::exp(log_sum / static_cast<double>(percents.size())) - 1.0);
+}
+
+}  // namespace ptm::sim

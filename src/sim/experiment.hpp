@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Scenario runner: the standard experimental protocol of §5-§6.
+ *
+ * A scenario colocates one victim benchmark with a set of co-runners in
+ * one VM, optionally under PTEMagnet, runs the victim's allocation (init)
+ * phase with full interleaving, then measures a fixed number of victim
+ * operations and reports the paper's metric set. Execution-time
+ * comparisons between two scenarios that differ only in the provider
+ * reproduce Figures 6/7; metric diffs reproduce Tables 1/4.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/metrics.hpp"
+#include "sim/platform.hpp"
+#include "sim/system.hpp"
+
+namespace ptm::sim {
+
+/// One co-runner: a catalog workload running @p workers worker processes
+/// (the paper's co-runners are multi-threaded; each worker is one job).
+struct CorunnerSpec {
+    std::string name;
+    unsigned workers = 1;
+};
+
+/// Declarative description of one run.
+struct ScenarioConfig {
+    std::string victim;                 ///< catalog name
+    std::vector<CorunnerSpec> corunners;
+    bool use_ptemagnet = false;
+    /// Reservation granularity in pages (ablation; the paper uses 8).
+    unsigned reservation_pages = kPagesPerReservation;
+    double scale = 1.0;                  ///< workload footprint multiplier
+    std::uint64_t measure_ops = 1'500'000;  ///< victim ops measured
+    std::uint64_t seed = 1;
+    /// Co-runner operations executed before the victim starts, modelling
+    /// services that are already in steady state when the victim is
+    /// scheduled onto the VM (the common VPC case).
+    std::uint64_t corunner_warmup_ops = 100'000;
+    /// Table 1 protocol: stop co-runners once the victim finishes
+    /// allocating (init), so no cache contention during measurement.
+    bool stop_corunners_after_init = false;
+    /// Measure from the first operation (includes the init phase); used
+    /// by the §6.4 allocation-latency microbenchmark.
+    bool measure_init = false;
+    PlatformConfig platform;
+};
+
+/// Everything a run reports.
+struct ScenarioResult {
+    MetricSet metrics;                    ///< Table 1/4 metric set
+    Cycles victim_cycles = 0;             ///< measured execution time
+    std::uint64_t victim_ops = 0;
+    FragmentationReport fragmentation;    ///< §3.2 metric detail
+    /// §6.2: peak (reserved-but-unmapped pages / victim RSS) observed.
+    double peak_unused_reservation_fraction = 0.0;
+    /// Provider telemetry (PTEMagnet runs only; zeros otherwise).
+    std::uint64_t reservations_created = 0;
+    std::uint64_t part_hits = 0;
+    std::uint64_t buddy_calls = 0;
+};
+
+/// Execute one scenario start to finish.
+ScenarioResult run_scenario(const ScenarioConfig &config);
+
+/**
+ * Convenience for the Figure 6/7 bars: run @p config twice (baseline
+ * buddy vs PTEMagnet, same seed) and return the pair.
+ */
+struct PairedResult {
+    ScenarioResult baseline;
+    ScenarioResult ptemagnet;
+
+    /// Performance improvement as the paper defines it: reduction of
+    /// execution time relative to the baseline, in percent.
+    double improvement_percent() const;
+};
+PairedResult run_paired(ScenarioConfig config);
+
+/// Geometric mean over improvement factors (the paper's "Geomean" bar).
+double geomean_improvement(const std::vector<double> &percents);
+
+}  // namespace ptm::sim

@@ -1,0 +1,112 @@
+#include "sim/metrics.hpp"
+
+#include <cstdio>
+#include <set>
+
+#include "pt/page_table.hpp"
+
+namespace ptm::sim {
+
+FragmentationReport
+host_pt_fragmentation(const vm::Process &proc, const host::VmInstance &vm)
+{
+    FragmentationReport report;
+    double total_lines = 0.0;
+    std::uint64_t fragmented = 0;
+
+    for (const vm::Vma &vma : proc.vas().vmas()) {
+        std::uint64_t group_begin =
+            vma.begin_page / kPagesPerReservation;
+        std::uint64_t group_end =
+            (vma.end_page + kPagesPerReservation - 1) /
+            kPagesPerReservation;
+        for (std::uint64_t group = group_begin; group < group_end;
+             ++group) {
+            std::set<std::uint64_t> hpte_lines;
+            bool any_mapped = false;
+            for (unsigned i = 0; i < kPagesPerReservation; ++i) {
+                std::uint64_t gvpn = group * kPagesPerReservation + i;
+                if (!vma.contains(gvpn))
+                    continue;
+                std::optional<pt::Pte> pte =
+                    proc.page_table().lookup(gvpn);
+                if (!pte)
+                    continue;
+                any_mapped = true;
+                std::optional<Addr> hpte =
+                    vm.page_table().leaf_entry_paddr(pte->frame());
+                if (hpte)
+                    hpte_lines.insert(line_number(*hpte));
+            }
+            if (!any_mapped)
+                continue;
+            ++report.groups;
+            double lines = static_cast<double>(hpte_lines.size());
+            total_lines += lines;
+            if (lines > report.max_hpte_lines)
+                report.max_hpte_lines = lines;
+            if (hpte_lines.size() > 1)
+                ++fragmented;
+        }
+    }
+
+    if (report.groups > 0) {
+        report.average_hpte_lines =
+            total_lines / static_cast<double>(report.groups);
+        report.fragmented_fraction =
+            static_cast<double>(fragmented) /
+            static_cast<double>(report.groups);
+    }
+    return report;
+}
+
+MetricSet
+collect_metrics(const Job &job, const host::VmInstance &vm)
+{
+    MetricSet m;
+    const JobCounters &c = job.counters();
+    const mmu::WalkerStats &w = job.walker().stats();
+
+    m.set("execution_time", static_cast<double>(c.cycles.value()));
+    m.set("cache_misses", static_cast<double>(c.data_mem_accesses.value()));
+    m.set("tlb_misses", static_cast<double>(w.tlb_misses.value()));
+    m.set("page_walk_cycles", static_cast<double>(w.walk_cycles.value()));
+    m.set("host_pt_walk_cycles",
+          static_cast<double>(w.host_pt_cycles.value()));
+    m.set("guest_pt_mem_accesses",
+          static_cast<double>(w.guest_pt_mem_accesses.value()));
+    m.set("host_pt_mem_accesses",
+          static_cast<double>(w.host_pt_mem_accesses.value()));
+
+    FragmentationReport frag = host_pt_fragmentation(job.process(), vm);
+    m.set("host_pt_fragmentation", frag.average_hpte_lines);
+    m.set("fragmented_group_fraction", frag.fragmented_fraction);
+    return m;
+}
+
+void
+print_metrics(const MetricSet &metrics, const std::string &title)
+{
+    std::printf("%s\n", title.c_str());
+    for (const auto &[name, value] : metrics.values())
+        std::printf("  %-28s %.4g\n", name.c_str(), value);
+}
+
+void
+print_change_table(const MetricSet &baseline, const MetricSet &experiment,
+                   const std::string &title)
+{
+    std::printf("%s\n", title.c_str());
+    std::printf("  %-28s %12s %12s %9s\n", "metric", "baseline",
+                "experiment", "change");
+    MetricSet delta = experiment.percent_change_from(baseline);
+    for (const auto &[name, value] : baseline.values()) {
+        if (!experiment.has(name))
+            continue;
+        std::printf("  %-28s %12.4g %12.4g %+8.1f%%\n", name.c_str(),
+                    value, experiment.get(name),
+                    delta.has(name) ? delta.get(name) : 0.0);
+    }
+}
+
+}  // namespace ptm::sim

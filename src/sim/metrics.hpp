@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Measurement helpers: the paper's host-PT fragmentation metric (§3.2)
+ * and the perf-style metric sets of Tables 1 and 4.
+ */
+#pragma once
+
+#include "common/stats.hpp"
+#include "host/host_kernel.hpp"
+#include "sim/system.hpp"
+#include "vm/process.hpp"
+
+namespace ptm::sim {
+
+/// Per-group (32 KiB / one gPTE cache line) fragmentation summary.
+struct FragmentationReport {
+    double average_hpte_lines = 0.0;   ///< the §3.2 metric (1 is perfect)
+    double fragmented_fraction = 0.0;  ///< groups whose hPTEs span >1 line
+    double max_hpte_lines = 0.0;       ///< worst group
+    std::uint64_t groups = 0;          ///< populated 8-page groups seen
+};
+
+/**
+ * Compute the host-PT fragmentation of @p proc: for every group of eight
+ * guest-virtual pages whose gPTEs share one cache line, count the
+ * distinct cache lines holding the corresponding host PTEs; average over
+ * groups with at least one mapped page.
+ */
+FragmentationReport host_pt_fragmentation(const vm::Process &proc,
+                                          const host::VmInstance &vm);
+
+/**
+ * Snapshot the paper's metric set for @p job (Tables 1 and 4):
+ * execution_time, cache_misses, tlb_misses, page_walk_cycles,
+ * host_pt_walk_cycles, guest/host_pt_mem_accesses, host_pt_fragmentation.
+ */
+MetricSet collect_metrics(const Job &job, const host::VmInstance &vm);
+
+/// Pretty-print a metric set (one "name: value" line each) to stdout.
+void print_metrics(const MetricSet &metrics, const std::string &title);
+
+/**
+ * Print a Table 1/4-style two-column change table: metric name and the
+ * percent change of @p experiment relative to @p baseline.
+ */
+void print_change_table(const MetricSet &baseline,
+                        const MetricSet &experiment,
+                        const std::string &title);
+
+}  // namespace ptm::sim

@@ -1,0 +1,228 @@
+#include "sim/system.hpp"
+
+#include "common/log.hpp"
+#include "core/ptemagnet_provider.hpp"
+
+namespace ptm::sim {
+
+Job::Job(unsigned core, vm::Process *process,
+         std::unique_ptr<workload::Workload> workload)
+    : core_(core), process_(process), workload_(std::move(workload))
+{
+}
+
+/**
+ * WorkloadContext implementation binding a workload to its process: mmap
+ * and munmap go through the guest kernel and are charged to the job.
+ */
+class System::JobWorkloadContext final : public workload::WorkloadContext {
+  public:
+    JobWorkloadContext(System *system, Job *job)
+        : system_(system), job_(job)
+    {
+    }
+
+    Addr
+    mmap(Addr bytes) override
+    {
+        job_->counters_.cycles.inc(system_->config_.mmap_cycles);
+        return job_->process_->vas().mmap(bytes);
+    }
+
+    void
+    munmap(Addr base) override
+    {
+        // Charge teardown per page currently backed.
+        const vm::Vma *vma = job_->process_->vas().find(page_number(base));
+        if (vma != nullptr) {
+            job_->counters_.cycles.inc(
+                system_->config_.munmap_page_cycles * vma->pages());
+        }
+        system_->guest_->free_region(*job_->process_, base);
+    }
+
+    void
+    free_page(Addr gva) override
+    {
+        job_->counters_.cycles.inc(system_->config_.munmap_page_cycles);
+        system_->guest_->free_page(*job_->process_, page_number(gva));
+    }
+
+  private:
+    System *system_;
+    Job *job_;
+};
+
+System::System(const PlatformConfig &config, unsigned num_cores)
+    : config_(config), rng_(config.seed)
+{
+    host_ = std::make_unique<host::HostKernel>(config_.host_frames,
+                                               config_.host_costs);
+    vm_ = &host_->create_vm();
+    guest_ = std::make_unique<vm::GuestKernel>(config_.guest_frames,
+                                               config_.guest_costs);
+    hierarchy_ = std::make_unique<cache::MemoryHierarchy>(
+        config_.hierarchy, num_cores, &rng_);
+
+    host_ctx_ = mmu::HostContext{
+        .page_table = &vm_->page_table(),
+        .fault_handler =
+            [this](std::uint64_t gfn) {
+                return host_->handle_fault(*vm_, gfn);
+            },
+    };
+
+    // Stale-translation shootdowns: drop the data-TLB entry on the core
+    // of the affected process.
+    guest_->on_translation_invalidated =
+        [this](std::int32_t pid, std::uint64_t gvpn) {
+            for (auto &job : jobs_) {
+                if (job->process_->pid() == pid)
+                    job->walker_->invalidate(gvpn);
+            }
+        };
+}
+
+System::~System() = default;
+
+void
+System::enable_ptemagnet(unsigned group_pages)
+{
+    if (!jobs_.empty())
+        ptm_fatal("enable PTEMagnet before adding jobs");
+    auto provider = std::make_unique<core::PtemagnetProvider>(
+        guest_.get(), group_pages);
+    ptemagnet_ = provider.get();
+    guest_->set_provider(std::move(provider));
+}
+
+Job &
+System::add_job(std::unique_ptr<workload::Workload> workload)
+{
+    vm::Process &process = guest_->create_process(workload->name());
+    return make_job(process, std::move(workload));
+}
+
+Job &
+System::fork_job(Job &parent, std::unique_ptr<workload::Workload> workload)
+{
+    vm::Process &child = guest_->fork(parent.process());
+    Job &job = make_job(child, std::move(workload));
+    parent.cow_possible_ = true;
+    job.cow_possible_ = true;
+    return job;
+}
+
+Job &
+System::make_job(vm::Process &process,
+                 std::unique_ptr<workload::Workload> workload)
+{
+    unsigned core = static_cast<unsigned>(jobs_.size());
+    if (core >= hierarchy_->num_cores())
+        ptm_fatal("more jobs than cores (%u)", hierarchy_->num_cores());
+
+    auto job = std::make_unique<Job>(core, &process, std::move(workload));
+    job->walker_ = std::make_unique<mmu::NestedWalker>(
+        core, config_.tlb, hierarchy_.get(), host_ctx_);
+    job->guest_ctx_ = mmu::GuestContext{
+        .page_table = &process.page_table(),
+        .fault_handler =
+            [this, proc = &process](std::uint64_t gvpn) {
+                return guest_->handle_fault(*proc, gvpn);
+            },
+    };
+    job->workload_ctx_ =
+        std::make_unique<JobWorkloadContext>(this, job.get());
+    job->workload_->setup(*job->workload_ctx_);
+
+    jobs_.push_back(std::move(job));
+    return *jobs_.back();
+}
+
+void
+System::step(Job &job)
+{
+    if (job.finished_ || job.paused_)
+        return;
+
+    std::optional<workload::MemOp> op =
+        job.workload_->next(*job.workload_ctx_);
+    if (!op) {
+        job.finished_ = true;
+        return;
+    }
+
+    Cycles cycles = config_.base_op_cycles;
+
+    // COW break check: only needed once the process has forked children.
+    if (op->write && job.cow_possible_) {
+        cycles += guest_->handle_write(*job.process_,
+                                       page_number(op->gva));
+    }
+
+    mmu::TranslationResult trans =
+        job.walker_->translate(job.guest_ctx_, op->gva);
+    cycles += trans.cycles;
+
+    Addr hpa = trans.hfn * kPageSize + (op->gva & kPageOffsetMask);
+    cache::AccessResult data =
+        hierarchy_->access(job.core_, hpa, cache::AccessKind::Data);
+    cycles += data.latency;
+
+    job.counters_.ops.inc();
+    job.counters_.cycles.inc(cycles);
+    job.counters_.data_accesses.inc();
+    job.counters_.data_cycles.inc(data.latency);
+    if (data.served_by == cache::ServedBy::Memory)
+        job.counters_.data_mem_accesses.inc();
+}
+
+void
+System::run_until(const std::function<bool()> &stop)
+{
+    while (!stop()) {
+        bool any_alive = false;
+        for (auto &job : jobs_) {
+            if (job->finished_ || job->paused_)
+                continue;
+            any_alive = true;
+            for (unsigned i = 0;
+                 i < config_.slice_ops && !job->finished_; ++i) {
+                step(*job);
+            }
+            if (stop())
+                return;
+        }
+        if (!any_alive)
+            return;
+    }
+}
+
+void
+System::run_until_init_done(Job &job)
+{
+    run_until([&job]() {
+        return job.finished() || !job.workload().in_init_phase();
+    });
+}
+
+void
+System::run_ops(Job &job, std::uint64_t ops)
+{
+    std::uint64_t target = job.counters_.ops.value() + ops;
+    run_until([&job, target]() {
+        return job.finished() || job.counters().ops.value() >= target;
+    });
+}
+
+void
+System::reset_measurement()
+{
+    hierarchy_->reset_stats();
+    for (auto &job : jobs_) {
+        job->reset_counters();
+        job->walker_->reset_stats();
+    }
+}
+
+}  // namespace ptm::sim

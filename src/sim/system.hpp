@@ -1,0 +1,157 @@
+/**
+ * @file
+ * System assembly and execution: host kernel + one VM + guest kernel +
+ * cache hierarchy + one core (MMU) per colocated job, and the round-robin
+ * scheduler that interleaves the jobs' memory operations.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "host/host_kernel.hpp"
+#include "mmu/nested_walker.hpp"
+#include "sim/platform.hpp"
+#include "vm/guest_kernel.hpp"
+#include "workload/workload.hpp"
+
+namespace ptm::core {
+class PtemagnetProvider;
+}
+
+namespace ptm::sim {
+
+/// Per-job measurement counters (reset at measurement start).
+struct JobCounters {
+    Counter ops;
+    Counter cycles;
+    Counter data_accesses;
+    Counter data_mem_accesses;  ///< data accesses served by main memory
+    Counter data_cycles;
+};
+
+/**
+ * One colocated application: a guest process driven by a workload on a
+ * dedicated core.
+ */
+class Job {
+  public:
+    Job(unsigned core, vm::Process *process,
+        std::unique_ptr<workload::Workload> workload);
+
+    unsigned core() const { return core_; }
+    vm::Process &process() { return *process_; }
+    const vm::Process &process() const { return *process_; }
+    workload::Workload &workload() { return *workload_; }
+
+    bool finished() const { return finished_; }
+    bool paused() const { return paused_; }
+    void set_paused(bool paused) { paused_ = paused; }
+
+    const JobCounters &counters() const { return counters_; }
+    void reset_counters() { counters_ = JobCounters{}; }
+
+    mmu::NestedWalker &walker() { return *walker_; }
+    const mmu::NestedWalker &walker() const { return *walker_; }
+
+  private:
+    friend class System;
+
+    unsigned core_;
+    vm::Process *process_;
+    std::unique_ptr<workload::Workload> workload_;
+    std::unique_ptr<mmu::NestedWalker> walker_;
+    mmu::GuestContext guest_ctx_;
+    std::unique_ptr<workload::WorkloadContext> workload_ctx_;
+    JobCounters counters_;
+    bool finished_ = false;
+    bool paused_ = false;
+    bool cow_possible_ = false;  ///< set after the process is forked
+};
+
+/**
+ * The whole simulated machine. Construction order matters and is managed
+ * internally: host kernel -> VM -> guest kernel -> hierarchy -> cores.
+ */
+class System {
+  public:
+    /// @param num_cores upper bound on colocated jobs.
+    System(const PlatformConfig &config, unsigned num_cores);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /// Switch the guest kernel to PTEMagnet (call before any job runs).
+    /// @param group_pages reservation granularity (ablation knob).
+    void enable_ptemagnet(unsigned group_pages = kPagesPerReservation);
+    bool ptemagnet_enabled() const { return ptemagnet_ != nullptr; }
+
+    /**
+     * Add a job running @p workload; calls workload->setup() immediately
+     * (eager virtual allocation, no faults yet).
+     */
+    Job &add_job(std::unique_ptr<workload::Workload> workload);
+
+    /**
+     * Fork @p parent's process (COW-sharing all its pages) and drive the
+     * child with @p workload on its own core. Marks both jobs as
+     * COW-capable so writes check for pending breaks.
+     */
+    Job &fork_job(Job &parent,
+                  std::unique_ptr<workload::Workload> workload);
+
+    /// Execute exactly one operation of @p job (test / tracing hook).
+    void step(Job &job);
+
+    /**
+     * Round-robin over non-paused, non-finished jobs in slices of
+     * config.slice_ops until @p stop returns true (checked between
+     * slices) or every job finished.
+     */
+    void run_until(const std::function<bool()> &stop);
+
+    /// Run until @p job leaves its init phase (faulting in its data).
+    void run_until_init_done(Job &job);
+
+    /// Run until @p job has executed @p ops more operations.
+    void run_ops(Job &job, std::uint64_t ops);
+
+    /// Reset all measurement-window statistics (jobs, walkers, caches).
+    void reset_measurement();
+
+    vm::GuestKernel &guest() { return *guest_; }
+    host::HostKernel &host() { return *host_; }
+    host::VmInstance &vm() { return *vm_; }
+    cache::MemoryHierarchy &hierarchy() { return *hierarchy_; }
+    const PlatformConfig &config() const { return config_; }
+
+    std::vector<std::unique_ptr<Job>> &jobs() { return jobs_; }
+
+    /// PTEMagnet provider, when enabled (nullptr otherwise).
+    core::PtemagnetProvider *ptemagnet() { return ptemagnet_; }
+
+  private:
+    class JobWorkloadContext;
+
+    Job &make_job(vm::Process &process,
+                  std::unique_ptr<workload::Workload> workload);
+
+    PlatformConfig config_;
+    Rng rng_;
+    std::unique_ptr<host::HostKernel> host_;
+    host::VmInstance *vm_ = nullptr;
+    std::unique_ptr<vm::GuestKernel> guest_;
+    std::unique_ptr<cache::MemoryHierarchy> hierarchy_;
+    mmu::HostContext host_ctx_;
+    std::vector<std::unique_ptr<Job>> jobs_;
+    core::PtemagnetProvider *ptemagnet_ = nullptr;
+};
+
+}  // namespace ptm::sim

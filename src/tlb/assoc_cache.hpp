@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Generic set-associative key->value cache with true-LRU replacement.
+ *
+ * The TLBs, page-walk caches, and the nested TLB are all instances of this
+ * template; they differ only in what the 64-bit key and the value mean.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace ptm::tlb {
+
+/// Hit/miss counters of an associative structure.
+struct AssocStats {
+    Counter hits;
+    Counter misses;
+    Counter evictions;
+
+    double
+    hit_rate() const
+    {
+        std::uint64_t total = hits.value() + misses.value();
+        return total ? static_cast<double>(hits.value()) /
+                       static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * Set-associative cache of Key(u64) -> Value with per-set LRU.
+ *
+ * @tparam Value copyable payload stored per entry.
+ */
+template <typename Value>
+class AssocCache {
+  public:
+    /**
+     * @param entries total entry count (must be ways * power-of-two sets)
+     * @param ways    associativity
+     */
+    AssocCache(unsigned entries, unsigned ways) : ways_(ways)
+    {
+        if (ways == 0 || entries == 0 || entries % ways != 0)
+            ptm_fatal("bad assoc-cache shape: %u entries, %u ways",
+                      entries, ways);
+        num_sets_ = entries / ways;
+        if ((num_sets_ & (num_sets_ - 1)) != 0)
+            ptm_fatal("assoc-cache set count %u not a power of two",
+                      num_sets_);
+        entries_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+    }
+
+    /// Look up @p key, updating recency on hit.
+    std::optional<Value>
+    lookup(std::uint64_t key)
+    {
+        Entry *set = set_of(key);
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (set[w].valid && set[w].key == key) {
+                set[w].stamp = ++clock_;
+                stats_.hits.inc();
+                return set[w].value;
+            }
+        }
+        stats_.misses.inc();
+        return std::nullopt;
+    }
+
+    /// Look up without updating recency or stats.
+    std::optional<Value>
+    probe(std::uint64_t key) const
+    {
+        const Entry *set = set_of(key);
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (set[w].valid && set[w].key == key)
+                return set[w].value;
+        }
+        return std::nullopt;
+    }
+
+    /// Insert (or refresh) key -> value, evicting LRU if the set is full.
+    void
+    insert(std::uint64_t key, const Value &value)
+    {
+        Entry *set = set_of(key);
+        Entry *slot = nullptr;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (set[w].valid && set[w].key == key) {
+                slot = &set[w];
+                break;
+            }
+        }
+        if (slot == nullptr) {
+            for (unsigned w = 0; w < ways_; ++w) {
+                if (!set[w].valid) {
+                    slot = &set[w];
+                    break;
+                }
+            }
+        }
+        if (slot == nullptr) {
+            slot = &set[0];
+            for (unsigned w = 1; w < ways_; ++w) {
+                if (set[w].stamp < slot->stamp)
+                    slot = &set[w];
+            }
+            stats_.evictions.inc();
+        }
+        slot->valid = true;
+        slot->key = key;
+        slot->value = value;
+        slot->stamp = ++clock_;
+    }
+
+    /// Remove one key if present.
+    void
+    invalidate(std::uint64_t key)
+    {
+        Entry *set = set_of(key);
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (set[w].valid && set[w].key == key)
+                set[w].valid = false;
+        }
+    }
+
+    /// Remove everything (TLB shootdown / context switch without ASIDs).
+    void
+    invalidate_all()
+    {
+        for (Entry &e : entries_)
+            e.valid = false;
+    }
+
+    unsigned capacity() const { return num_sets_ * ways_; }
+    const AssocStats &stats() const { return stats_; }
+    void reset_stats() { stats_ = AssocStats{}; }
+
+    /// Number of valid entries (test hook).
+    unsigned
+    occupancy() const
+    {
+        unsigned n = 0;
+        for (const Entry &e : entries_) {
+            if (e.valid)
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    struct Entry {
+        std::uint64_t key = 0;
+        Value value{};
+        std::uint64_t stamp = 0;
+        bool valid = false;
+    };
+
+    Entry *set_of(std::uint64_t key)
+    {
+        return &entries_[(key & (num_sets_ - 1)) * ways_];
+    }
+    const Entry *set_of(std::uint64_t key) const
+    {
+        return &entries_[(key & (num_sets_ - 1)) * ways_];
+    }
+
+    unsigned ways_;
+    unsigned num_sets_;
+    std::uint64_t clock_ = 0;
+    std::vector<Entry> entries_;
+    AssocStats stats_;
+};
+
+}  // namespace ptm::tlb

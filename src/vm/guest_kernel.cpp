@@ -1,0 +1,274 @@
+#include "vm/guest_kernel.hpp"
+
+#include "common/log.hpp"
+#include "vm/buddy_provider.hpp"
+
+namespace ptm::vm {
+
+GuestKernel::GuestKernel(std::uint64_t guest_frames, GuestCostModel costs)
+    : costs_(costs), buddy_(0, guest_frames), memory_(0, guest_frames),
+      provider_(std::make_unique<BuddyPageProvider>(this))
+{
+}
+
+GuestKernel::~GuestKernel()
+{
+    // Destroy processes (and their page tables, which release node frames
+    // through the frame source) before the allocator they point into.
+    processes_.clear();
+}
+
+void
+GuestKernel::set_provider(std::unique_ptr<PhysicalPageProvider> provider)
+{
+    if (!provider)
+        ptm_fatal("null page provider");
+    provider_ = std::move(provider);
+}
+
+pt::FrameSource
+GuestKernel::pt_frame_source(std::int32_t pid)
+{
+    return pt::FrameSource{
+        .allocate =
+            [this, pid]() -> std::optional<std::uint64_t> {
+                std::optional<std::uint64_t> frame = buddy_.allocate_frame();
+                if (frame) {
+                    memory_.set_use(*frame, 1, mem::FrameUse::PageTable,
+                                    pid);
+                }
+                return frame;
+            },
+        .release =
+            [this](std::uint64_t frame) {
+                memory_.set_use(frame, 1, mem::FrameUse::Free);
+                buddy_.free(frame);
+            },
+    };
+}
+
+Process &
+GuestKernel::create_process(const std::string &name)
+{
+    std::int32_t pid = next_pid_++;
+    auto proc = std::make_unique<Process>(pid, name, pt_frame_source(pid));
+    Process &ref = *proc;
+    processes_.emplace(pid, std::move(proc));
+    return ref;
+}
+
+Process &
+GuestKernel::process(std::int32_t pid)
+{
+    auto it = processes_.find(pid);
+    if (it == processes_.end())
+        ptm_panic("no process with pid %d", pid);
+    return *it->second;
+}
+
+void
+GuestKernel::invalidate_translation(Process &proc, std::uint64_t gvpn)
+{
+    if (on_translation_invalidated)
+        on_translation_invalidated(proc.pid(), gvpn);
+}
+
+mmu::FaultOutcome
+GuestKernel::handle_fault(Process &proc, std::uint64_t gvpn)
+{
+    if (!proc.vas().is_mapped(gvpn)) {
+        ptm_panic("pid %d faulted on unmapped page 0x%llx (segfault)",
+                  proc.pid(), static_cast<unsigned long long>(gvpn));
+    }
+
+    // Spurious fault: another thread (or an earlier retry) already
+    // installed the mapping — return it, as the real fault path does.
+    if (std::optional<pt::Pte> existing = proc.page_table().lookup(gvpn)) {
+        return {.ok = true,
+                .frame = existing->frame(),
+                .cycles = costs_.fault_base};
+    }
+
+    stats_.faults_handled.inc();
+    proc.stats().page_faults.inc();
+
+    AllocOutcome alloc = provider_->allocate_page(proc, gvpn);
+    if (!alloc.ok) {
+        // Last resort: reclaim provider-held memory, then retry once.
+        check_memory_pressure();
+        alloc = provider_->allocate_page(proc, gvpn);
+        if (!alloc.ok) {
+            stats_.oom_events.inc();
+            return {.ok = false};
+        }
+    }
+
+    if (!proc.page_table().map(gvpn, {.writable = true, .frame = alloc.gfn}))
+        ptm_fatal("guest OOM while allocating page-table nodes");
+
+    memory_.set_use(alloc.gfn, 1, mem::FrameUse::Data, proc.pid());
+    proc.add_rss(1);
+    stats_.pages_mapped.inc();
+
+    check_memory_pressure();
+
+    return {.ok = true,
+            .frame = alloc.gfn,
+            .cycles = costs_.fault_base + costs_.zero_page + alloc.cycles};
+}
+
+bool
+GuestKernel::is_cow(const Process &proc, std::uint64_t gvpn) const
+{
+    std::optional<pt::Pte> pte = proc.page_table().lookup(gvpn);
+    return pte && pte->cow();
+}
+
+Cycles
+GuestKernel::handle_write(Process &proc, std::uint64_t gvpn)
+{
+    std::optional<pt::Pte> pte = proc.page_table().lookup(gvpn);
+    if (!pte || !pte->cow())
+        return 0;
+
+    stats_.write_faults.inc();
+    proc.stats().cow_breaks.inc();
+    std::uint64_t gfn = pte->frame();
+
+    auto shared = shared_frames_.find(gfn);
+    if (shared == shared_frames_.end() || shared->second <= 1) {
+        // Sole remaining owner: take the frame private again in place.
+        if (shared != shared_frames_.end())
+            shared_frames_.erase(shared);
+        proc.page_table().update(gvpn, {.writable = true, .frame = gfn});
+        memory_.set_use(gfn, 1, mem::FrameUse::Data, proc.pid());
+        invalidate_translation(proc, gvpn);
+        return costs_.fault_base;
+    }
+
+    // Copy: COW pages bypass the provider (PTEMagnet cannot enhance
+    // contiguity among COWs, §4.4) and go straight to the buddy.
+    --shared->second;
+    if (shared->second == 1)
+        shared_frames_.erase(shared);
+    std::optional<std::uint64_t> copy = buddy_.allocate_frame();
+    if (!copy)
+        ptm_fatal("guest OOM on COW break");
+    memory_.set_use(*copy, 1, mem::FrameUse::Data, proc.pid());
+    proc.page_table().update(gvpn, {.writable = true, .frame = *copy});
+    proc.add_rss(1);
+    invalidate_translation(proc, gvpn);
+    return costs_.fault_base + costs_.buddy_call + costs_.cow_copy;
+}
+
+Process &
+GuestKernel::fork(Process &parent)
+{
+    Process &child = create_process(parent.name() + "-child");
+    child.set_parent_pid(parent.pid());
+    child.vas() = parent.vas();
+
+    for (const Vma &vma : parent.vas().vmas()) {
+        for (std::uint64_t vpn = vma.begin_page; vpn < vma.end_page; ++vpn) {
+            std::optional<pt::Pte> pte = parent.page_table().lookup(vpn);
+            if (!pte)
+                continue;
+            std::uint64_t gfn = pte->frame();
+            pt::PteFields shared_fields{
+                .writable = false, .cow = true, .frame = gfn};
+            parent.page_table().update(vpn, shared_fields);
+            if (!child.page_table().map(vpn, shared_fields))
+                ptm_fatal("guest OOM while forking page tables");
+            child.add_rss(1);
+            auto [it, inserted] = shared_frames_.emplace(gfn, 2);
+            if (!inserted)
+                ++it->second;
+            invalidate_translation(parent, vpn);
+        }
+    }
+
+    provider_->on_fork(parent, child);
+    return child;
+}
+
+void
+GuestKernel::unmap_one(Process &proc, std::uint64_t gvpn, pt::Pte pte)
+{
+    std::uint64_t gfn = pte.frame();
+    proc.page_table().unmap(gvpn);
+    proc.add_rss(-1);
+    proc.stats().pages_freed.inc();
+    stats_.pages_freed.inc();
+    invalidate_translation(proc, gvpn);
+
+    auto shared = shared_frames_.find(gfn);
+    if (shared != shared_frames_.end()) {
+        // Another mapping still references the frame; just drop ours.
+        if (--shared->second <= 1)
+            shared_frames_.erase(shared);
+        return;
+    }
+
+    FreeDisposition disposition =
+        provider_->on_page_freed(proc, gvpn, gfn);
+    if (disposition == FreeDisposition::ReturnToBuddy) {
+        memory_.set_use(gfn, 1, mem::FrameUse::Free);
+        buddy_.free(gfn);
+    }
+}
+
+void
+GuestKernel::free_page(Process &proc, std::uint64_t gvpn)
+{
+    std::optional<pt::Pte> pte = proc.page_table().lookup(gvpn);
+    if (pte)
+        unmap_one(proc, gvpn, *pte);
+}
+
+void
+GuestKernel::free_region(Process &proc, Addr base)
+{
+    std::optional<Vma> vma = proc.vas().munmap(base);
+    if (!vma)
+        ptm_panic("free_region: 0x%llx is not a region base",
+                  static_cast<unsigned long long>(base));
+    for (std::uint64_t vpn = vma->begin_page; vpn < vma->end_page; ++vpn) {
+        std::optional<pt::Pte> pte = proc.page_table().lookup(vpn);
+        if (pte)
+            unmap_one(proc, vpn, *pte);
+    }
+}
+
+void
+GuestKernel::exit_process(Process &proc)
+{
+    for (const Vma &vma : proc.vas().vmas()) {
+        for (std::uint64_t vpn = vma.begin_page; vpn < vma.end_page; ++vpn) {
+            std::optional<pt::Pte> pte = proc.page_table().lookup(vpn);
+            if (pte)
+                unmap_one(proc, vpn, *pte);
+        }
+    }
+    provider_->on_process_exit(proc);
+    processes_.erase(proc.pid());
+}
+
+void
+GuestKernel::check_memory_pressure()
+{
+    if (reclaim_policy_.low_watermark_frames == 0)
+        return;
+    if (buddy_.free_frames_count() >= reclaim_policy_.low_watermark_frames)
+        return;
+    std::uint64_t target =
+        reclaim_policy_.high_watermark_frames > buddy_.free_frames_count()
+            ? reclaim_policy_.high_watermark_frames -
+                  buddy_.free_frames_count()
+            : 0;
+    if (target == 0)
+        return;
+    stats_.reclaim_runs.inc();
+    stats_.frames_reclaimed.inc(provider_->reclaim(target));
+}
+
+}  // namespace ptm::vm

@@ -1,0 +1,139 @@
+#include "vm/huge_page_provider.hpp"
+
+#include "common/log.hpp"
+#include "vm/guest_kernel.hpp"
+
+namespace ptm::vm {
+
+namespace {
+
+std::uint64_t
+region_key(std::int32_t pid, std::uint64_t region)
+{
+    // pid in the top bits, region (< 2^40 for 48-bit VAs) below.
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid))
+            << 40) |
+           region;
+}
+
+}  // namespace
+
+HugePageProvider::HugePageProvider(GuestKernel *kernel) : kernel_(kernel)
+{
+    if (kernel == nullptr)
+        ptm_fatal("huge-page provider needs a kernel");
+}
+
+AllocOutcome
+HugePageProvider::allocate_page(Process &proc, std::uint64_t gvpn)
+{
+    const std::uint64_t region = gvpn / kHugePages;
+    const unsigned offset = static_cast<unsigned>(gvpn % kHugePages);
+    const std::uint64_t key = region_key(proc.pid(), region);
+
+    auto leftover_it = leftovers_.find(key);
+    if (leftover_it != leftovers_.end()) {
+        // Region already promoted: serve the fault from the retained
+        // frames (pages that were outside a VMA at promotion time, or
+        // were freed since).
+        auto &frames = leftover_it->second;
+        auto frame_it = frames.find(offset);
+        if (frame_it != frames.end()) {
+            std::uint64_t gfn = frame_it->second;
+            frames.erase(frame_it);
+            return {.ok = true,
+                    .gfn = gfn,
+                    .cycles = kernel_->costs().reservation_hit};
+        }
+        // Frame was handed out and freed to the buddy earlier: plain 4K.
+        std::optional<std::uint64_t> gfn = kernel_->buddy().allocate_frame();
+        if (!gfn)
+            return {.ok = false};
+        return {.ok = true,
+                .gfn = *gfn,
+                .cycles = kernel_->costs().buddy_call};
+    }
+
+    // First touch of a huge region: take an aligned order-9 block and
+    // eagerly map every page that lies inside a VMA.
+    std::optional<std::uint64_t> base = kernel_->buddy().allocate_split(9);
+    if (!base) {
+        std::optional<std::uint64_t> gfn = kernel_->buddy().allocate_frame();
+        stats_.fallback_singles.inc();
+        if (!gfn)
+            return {.ok = false};
+        return {.ok = true,
+                .gfn = *gfn,
+                .cycles = kernel_->costs().buddy_call};
+    }
+
+    stats_.regions_backed.inc();
+    auto &frames = leftovers_[key];
+
+    for (unsigned i = 0; i < kHugePages; ++i) {
+        std::uint64_t page = region * kHugePages + i;
+        if (i == offset)
+            continue;  // the kernel maps the faulting page itself
+        if (proc.vas().is_mapped(page) && !proc.page_table().lookup(page)) {
+            if (!proc.page_table().map(
+                    page, {.writable = true, .frame = *base + i}))
+                ptm_fatal("guest OOM while eagerly mapping a huge region");
+            kernel_->memory().set_use(*base + i, 1, mem::FrameUse::Data,
+                                      proc.pid());
+            proc.add_rss(1);
+            stats_.pages_eager_mapped.inc();
+        } else {
+            // Internal fragmentation: a backed frame with no user.
+            kernel_->memory().set_use(*base + i, 1, mem::FrameUse::Kernel,
+                                      proc.pid());
+            frames.emplace(i, *base + i);
+        }
+    }
+
+    return {.ok = true,
+            .gfn = *base + offset,
+            .cycles = kernel_->costs().buddy_call +
+                      kernel_->costs().zero_page * 4};
+}
+
+FreeDisposition
+HugePageProvider::on_page_freed(Process &, std::uint64_t, std::uint64_t)
+{
+    // No demotion modelling: freed pages simply return to the buddy.
+    return FreeDisposition::ReturnToBuddy;
+}
+
+std::uint64_t
+HugePageProvider::unused_backed_pages(std::int32_t pid) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[key, frames] : leftovers_) {
+        if ((key >> 40) ==
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid)))
+            total += frames.size();
+    }
+    return total;
+}
+
+void
+HugePageProvider::on_process_exit(Process &proc)
+{
+    // Return retained (never-mapped) frames of this process's regions.
+    for (auto it = leftovers_.begin(); it != leftovers_.end();) {
+        bool mine =
+            (it->first >> 40) ==
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                proc.pid()));
+        if (mine) {
+            for (const auto &[offset, frame] : it->second) {
+                kernel_->memory().set_use(frame, 1, mem::FrameUse::Free);
+                kernel_->buddy().free(frame);
+            }
+            it = leftovers_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace ptm::vm

@@ -1,0 +1,36 @@
+#include "vm/buddy_provider.hpp"
+
+#include "common/log.hpp"
+#include "vm/guest_kernel.hpp"
+
+namespace ptm::vm {
+
+BuddyPageProvider::BuddyPageProvider(GuestKernel *kernel) : kernel_(kernel)
+{
+    if (kernel == nullptr)
+        ptm_fatal("provider needs a kernel");
+}
+
+AllocOutcome
+BuddyPageProvider::allocate_page(Process &, std::uint64_t)
+{
+    std::optional<std::uint64_t> gfn = kernel_->buddy().allocate_frame();
+    if (!gfn)
+        return {.ok = false};
+    return {.ok = true,
+            .gfn = *gfn,
+            .cycles = kernel_->costs().buddy_call};
+}
+
+FreeDisposition
+BuddyPageProvider::on_page_freed(Process &, std::uint64_t, std::uint64_t)
+{
+    return FreeDisposition::ReturnToBuddy;
+}
+
+void
+BuddyPageProvider::on_process_exit(Process &)
+{
+}
+
+}  // namespace ptm::vm

@@ -1,0 +1,25 @@
+#include "vm/process.hpp"
+
+#include "common/log.hpp"
+
+namespace ptm::vm {
+
+Process::Process(std::int32_t pid, std::string name,
+                 pt::FrameSource pt_frames)
+    : pid_(pid), name_(std::move(name)),
+      page_table_(std::make_unique<pt::PageTable>(std::move(pt_frames)))
+{
+}
+
+void
+Process::add_rss(std::int64_t delta)
+{
+    if (delta < 0 &&
+        rss_pages_ < static_cast<std::uint64_t>(-delta)) {
+        ptm_panic("rss underflow for pid %d", pid_);
+    }
+    rss_pages_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(rss_pages_) + delta);
+}
+
+}  // namespace ptm::vm

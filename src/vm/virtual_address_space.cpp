@@ -1,0 +1,92 @@
+#include "vm/virtual_address_space.hpp"
+
+#include "common/log.hpp"
+
+namespace ptm::vm {
+
+namespace {
+// Guest-virtual layout: a heap region and an mmap region, well separated.
+constexpr std::uint64_t kHeapBasePage = 0x0000'1000;      // 16 MiB mark
+constexpr std::uint64_t kMmapBasePage = 0x0010'0000;      // 4 GiB mark
+// Guard gap between consecutive mmap regions, in pages.
+constexpr std::uint64_t kMmapGuardPages = 16;
+}  // namespace
+
+VirtualAddressSpace::VirtualAddressSpace()
+    : mmap_cursor_page_(kMmapBasePage), heap_begin_page_(kHeapBasePage),
+      heap_end_page_(kHeapBasePage)
+{
+}
+
+Addr
+VirtualAddressSpace::mmap(Addr length)
+{
+    if (length == 0)
+        ptm_fatal("mmap of zero bytes");
+    std::uint64_t pages = page_number(page_ceil(length));
+    std::uint64_t begin = mmap_cursor_page_;
+    mmap_cursor_page_ += pages + kMmapGuardPages;
+    regions_.emplace(begin, Vma{begin, begin + pages});
+    return page_address(begin);
+}
+
+Addr
+VirtualAddressSpace::brk(Addr delta)
+{
+    Addr old_brk = page_address(heap_end_page_);
+    if (delta == 0)
+        return old_brk;
+    std::uint64_t pages = page_number(page_ceil(delta));
+    if (heap_end_page_ == heap_begin_page_) {
+        regions_.emplace(heap_begin_page_,
+                         Vma{heap_begin_page_, heap_begin_page_ + pages});
+    } else {
+        auto it = regions_.find(heap_begin_page_);
+        ptm_assert(it != regions_.end());
+        it->second.end_page += pages;
+    }
+    heap_end_page_ += pages;
+    return old_brk;
+}
+
+std::optional<Vma>
+VirtualAddressSpace::munmap(Addr base)
+{
+    auto it = regions_.find(page_number(base));
+    if (it == regions_.end())
+        return std::nullopt;
+    Vma vma = it->second;
+    regions_.erase(it);
+    return vma;
+}
+
+const Vma *
+VirtualAddressSpace::find(std::uint64_t vpn) const
+{
+    auto it = regions_.upper_bound(vpn);
+    if (it == regions_.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(vpn) ? &it->second : nullptr;
+}
+
+std::vector<Vma>
+VirtualAddressSpace::vmas() const
+{
+    std::vector<Vma> out;
+    out.reserve(regions_.size());
+    for (const auto &[begin, vma] : regions_)
+        out.push_back(vma);
+    return out;
+}
+
+std::uint64_t
+VirtualAddressSpace::total_pages() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[begin, vma] : regions_)
+        n += vma.pages();
+    return n;
+}
+
+}  // namespace ptm::vm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Guest-virtual address-space layout of one process.
+ *
+ * Models Linux's eager virtual allocation (§2.2): mmap()/brk() hand out
+ * contiguous virtual ranges immediately; physical backing arrives later,
+ * page by page, through faults. Only anonymous private memory is modelled
+ * — that is the memory whose allocation order the paper studies.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ptm::vm {
+
+/// One virtual memory area (inclusive start page, exclusive end page).
+struct Vma {
+    std::uint64_t begin_page = 0;
+    std::uint64_t end_page = 0;
+
+    std::uint64_t pages() const { return end_page - begin_page; }
+    bool contains(std::uint64_t vpn) const
+    {
+        return vpn >= begin_page && vpn < end_page;
+    }
+};
+
+/**
+ * Ordered set of non-overlapping VMAs plus mmap/brk cursors.
+ */
+class VirtualAddressSpace {
+  public:
+    VirtualAddressSpace();
+
+    /**
+     * Eagerly allocate @p length bytes of virtual space (rounded up to
+     * pages) from the mmap area.
+     * @return base address of the new region.
+     */
+    Addr mmap(Addr length);
+
+    /// Grow the heap by @p delta bytes; returns the old break address.
+    Addr brk(Addr delta);
+
+    /// Remove the region starting exactly at @p base (munmap of a whole
+    /// prior mmap). Returns the removed VMA, if any.
+    std::optional<Vma> munmap(Addr base);
+
+    /// The VMA covering @p vpn, if any.
+    const Vma *find(std::uint64_t vpn) const;
+
+    bool is_mapped(std::uint64_t vpn) const { return find(vpn) != nullptr; }
+
+    /// All current VMAs in address order.
+    std::vector<Vma> vmas() const;
+
+    /// Total virtual pages currently reserved.
+    std::uint64_t total_pages() const;
+
+  private:
+    /// keyed by begin_page
+    std::map<std::uint64_t, Vma> regions_;
+    std::uint64_t mmap_cursor_page_;
+    std::uint64_t heap_begin_page_;
+    std::uint64_t heap_end_page_;
+};
+
+}  // namespace ptm::vm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The workload catalog: named presets for every benchmark and co-runner
+ * of the paper's Table 3, plus the §6.4 allocation microbenchmark.
+ *
+ * Footprints are scaled from the paper's setup (16 GB datasets, 25 MB
+ * LLC) down to the simulator's default platform (≈50-130 MB footprints,
+ * 2 MB LLC) preserving the footprint:LLC and footprint:TLB-reach ratios
+ * that drive the observed effects.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hpp"
+
+namespace ptm::workload {
+
+/// Knobs shared by all presets.
+struct WorkloadOptions {
+    double scale = 1.0;        ///< footprint multiplier
+    std::uint64_t seed = 1;    ///< RNG seed (combined with the name hash)
+    std::uint64_t total_ops = 0;  ///< override compute-op budget (0: keep
+                                  ///< the preset default / infinite)
+};
+
+/**
+ * Build a workload by catalog name. Known names:
+ *  - benchmarks: cc, bfs, nibble, pagerank, gcc, mcf, omnetpp, xz
+ *  - low-TLB-pressure SPEC'17 Int class: perlbench, x264, deepsjeng,
+ *    leela, exchange2, xalancbmk
+ *  - co-runners: objdet, stress-ng, chameleon, pyaes, json_serdes,
+ *    rnn_serving (gcc and xz double as co-runners, per Table 3)
+ *  - microbenchmarks: alloc_sweep (§6.4)
+ * Unknown names are fatal.
+ */
+std::unique_ptr<SyntheticWorkload>
+make_workload(const std::string &name, const WorkloadOptions &options = {});
+
+/// The eight evaluated benchmarks, in the paper's figure order.
+const std::vector<std::string> &benchmark_names();
+
+/// The low-TLB-pressure SPEC'17 Int class used for the §6.1
+/// "0-1%, never negative" sanity sweep.
+const std::vector<std::string> &low_pressure_names();
+
+/// The co-runner set used in the Figure 7 "combination" scenario.
+const std::vector<std::string> &corunner_names();
+
+}  // namespace ptm::workload

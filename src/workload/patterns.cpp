@@ -1,0 +1,129 @@
+#include "workload/patterns.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace ptm::workload {
+
+MemOp
+SequentialPattern::next(Rng &rng)
+{
+    ptm_assert(region_.size > 0);
+    MemOp op;
+    op.gva = region_.base + cursor_;
+    op.write = write_fraction_ > 0.0 && rng.chance(write_fraction_);
+    cursor_ += stride_;
+    if (cursor_ >= region_.size)
+        cursor_ = 0;
+    return op;
+}
+
+MemOp
+RandomPattern::next(Rng &rng)
+{
+    ptm_assert(region_.size > 0);
+    MemOp op;
+    // 8-byte aligned word somewhere in the region.
+    op.gva = region_.base + (rng.below(region_.size / 8) * 8);
+    op.write = write_fraction_ > 0.0 && rng.chance(write_fraction_);
+    return op;
+}
+
+MemOp
+ClusteredPattern::next(Rng &rng)
+{
+    ptm_assert(region_.size > 0);
+    if (remaining_ == 0) {
+        std::uint64_t clusters =
+            std::max<std::uint64_t>(1, region_.size / cluster_bytes_);
+        cluster_base_ = rng.below(clusters) * cluster_bytes_;
+        remaining_ = dwell_ops_;
+        cursor_ = 0;
+    }
+    MemOp op;
+    // Mostly-sequential walk of the cluster with occasional short jumps,
+    // so consecutive pages of the cluster are touched close in time.
+    if (rng.chance(0.85)) {
+        cursor_ += kCacheLineSize;
+    } else {
+        cursor_ = rng.below(cluster_bytes_ / 8) * 8;
+    }
+    if (cursor_ >= cluster_bytes_)
+        cursor_ = 0;
+    Addr offset = cluster_base_ + cursor_;
+    if (offset >= region_.size)
+        offset = cursor_;
+    op.gva = region_.base + offset;
+    op.write = write_fraction_ > 0.0 && rng.chance(write_fraction_);
+    --remaining_;
+    return op;
+}
+
+MemOp
+PageSweepPattern::next(Rng &rng)
+{
+    ptm_assert(region_.size > 0);
+    std::uint64_t region_pages = region_.pages();
+    unsigned window =
+        static_cast<unsigned>(std::min<std::uint64_t>(window_pages_,
+                                                      region_pages));
+    if (!active_) {
+        std::uint64_t windows =
+            std::max<std::uint64_t>(1, region_pages / window);
+        window_base_ = rng.below(windows) * window * kPageSize;
+        page_in_window_ = 0;
+        access_in_page_ = 0;
+        sweeps_left_ = revisits_;
+        active_ = true;
+    }
+
+    // The word visited within a page is a deterministic function of the
+    // page, so revisiting sweeps re-touch the same cache lines (data
+    // locality) while still needing the page's translation.
+    Addr page_base = window_base_ + page_in_window_ * kPageSize;
+    std::uint64_t word_seed =
+        page_number(region_.base + page_base) + access_in_page_;
+    Addr word = (splitmix64(word_seed) % (kPageSize / 8)) * 8;
+    MemOp op{region_.base + page_base + word,
+             write_fraction_ > 0.0 && rng.chance(write_fraction_)};
+
+    if (++access_in_page_ >= accesses_per_page_) {
+        access_in_page_ = 0;
+        if (++page_in_window_ >= window) {
+            page_in_window_ = 0;
+            if (--sweeps_left_ == 0)
+                active_ = false;
+        }
+    }
+    return op;
+}
+
+std::unique_ptr<SequentialPattern>
+sequential(Addr stride, double write_fraction)
+{
+    return std::make_unique<SequentialPattern>(stride, write_fraction);
+}
+
+std::unique_ptr<RandomPattern>
+random_uniform(double write_fraction)
+{
+    return std::make_unique<RandomPattern>(write_fraction);
+}
+
+std::unique_ptr<ClusteredPattern>
+clustered(Addr cluster_bytes, unsigned dwell_ops, double write_fraction)
+{
+    return std::make_unique<ClusteredPattern>(cluster_bytes, dwell_ops,
+                                              write_fraction);
+}
+
+std::unique_ptr<PageSweepPattern>
+page_sweep(unsigned window_pages, unsigned accesses_per_page,
+           double write_fraction, unsigned revisits)
+{
+    return std::make_unique<PageSweepPattern>(
+        window_pages, accesses_per_page, write_fraction, revisits);
+}
+
+}  // namespace ptm::workload

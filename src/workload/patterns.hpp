@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Composable access-pattern building blocks.
+ *
+ * A pattern generates a stream of (offset, read/write) pairs relative to a
+ * region it is bound to. Workloads are mixtures of patterns over their
+ * regions; the catalog (catalog.cpp) assembles per-benchmark mixtures that
+ * mimic the memory behaviour of the paper's Table 3 applications.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workload/workload.hpp"
+
+namespace ptm::workload {
+
+/// A bound virtual region (assigned at setup time).
+struct Region {
+    Addr base = 0;
+    Addr size = 0;
+
+    std::uint64_t pages() const { return size / kPageSize; }
+};
+
+/**
+ * Stream of accesses within one region.
+ */
+class AccessPattern {
+  public:
+    virtual ~AccessPattern() = default;
+
+    /// Bind to the region the pattern walks (called once after mmap).
+    void bind(const Region &region) { region_ = region; }
+    const Region &region() const { return region_; }
+
+    /// Produce the next access.
+    virtual MemOp next(Rng &rng) = 0;
+
+  protected:
+    Region region_;
+};
+
+/**
+ * Sequential sweep with a fixed stride, wrapping around; a fraction of the
+ * operations are writes. Models array initialization, streaming kernels
+ * (xz windows, objdet weight reads), and edge-array scans.
+ */
+class SequentialPattern final : public AccessPattern {
+  public:
+    SequentialPattern(Addr stride, double write_fraction)
+        : stride_(stride), write_fraction_(write_fraction)
+    {
+    }
+
+    MemOp next(Rng &rng) override;
+
+  private:
+    Addr stride_;
+    double write_fraction_;
+    Addr cursor_ = 0;
+};
+
+/**
+ * Uniform random accesses over the whole region. Models pointer-heavy
+ * irregular structures (mcf arcs, hash tables): maximal TLB pressure,
+ * no spatial locality.
+ */
+class RandomPattern final : public AccessPattern {
+  public:
+    explicit RandomPattern(double write_fraction)
+        : write_fraction_(write_fraction)
+    {
+    }
+
+    MemOp next(Rng &rng) override;
+
+  private:
+    double write_fraction_;
+};
+
+/**
+ * Clustered accesses: pick a random cluster of @p cluster_bytes, issue
+ * @p dwell_ops accesses inside it (sequentially with a small random
+ * jitter), then jump to another cluster. Models partition-centric graph
+ * processing (GPOP) and heap-object locality (omnetpp): spatial locality
+ * at a tunable granularity with irregular inter-cluster jumps.
+ */
+class ClusteredPattern final : public AccessPattern {
+  public:
+    ClusteredPattern(Addr cluster_bytes, unsigned dwell_ops,
+                     double write_fraction)
+        : cluster_bytes_(cluster_bytes), dwell_ops_(dwell_ops),
+          write_fraction_(write_fraction)
+    {
+    }
+
+    MemOp next(Rng &rng) override;
+
+  private:
+    Addr cluster_bytes_;
+    unsigned dwell_ops_;
+    double write_fraction_;
+    Addr cluster_base_ = 0;
+    unsigned remaining_ = 0;
+    Addr cursor_ = 0;
+};
+
+/**
+ * Page-granular sweep: pick a random aligned window of
+ * @p window_pages pages, visit its pages in ascending order with
+ * @p accesses_per_page sparse accesses inside each page, then jump to
+ * another window. Models sorted-neighbour graph partitions (GPOP),
+ * dictionary windows (xz), and column scans: little intra-page reuse but
+ * strong *page-level* spatial locality — the access shape whose nested
+ * walks PTEMagnet accelerates (Figure 2).
+ */
+class PageSweepPattern final : public AccessPattern {
+  public:
+    /**
+     * @param revisits number of consecutive sweeps over each chosen
+     *        window (xz-style dictionary re-scans: later sweeps hit the
+     *        data caches but still pressure the TLB).
+     */
+    PageSweepPattern(unsigned window_pages, unsigned accesses_per_page,
+                     double write_fraction, unsigned revisits = 1)
+        : window_pages_(window_pages),
+          accesses_per_page_(accesses_per_page),
+          write_fraction_(write_fraction), revisits_(revisits)
+    {
+    }
+
+    MemOp next(Rng &rng) override;
+
+  private:
+    unsigned window_pages_;
+    unsigned accesses_per_page_;
+    double write_fraction_;
+    unsigned revisits_;
+    Addr window_base_ = 0;
+    unsigned page_in_window_ = 0;
+    unsigned access_in_page_ = 0;
+    unsigned sweeps_left_ = 0;
+    bool active_ = false;
+};
+
+/// Construction helpers keep catalog code terse.
+std::unique_ptr<SequentialPattern> sequential(Addr stride,
+                                              double write_fraction = 0.0);
+std::unique_ptr<RandomPattern> random_uniform(double write_fraction = 0.0);
+std::unique_ptr<ClusteredPattern> clustered(Addr cluster_bytes,
+                                            unsigned dwell_ops,
+                                            double write_fraction = 0.0);
+std::unique_ptr<PageSweepPattern> page_sweep(unsigned window_pages,
+                                             unsigned accesses_per_page,
+                                             double write_fraction = 0.0,
+                                             unsigned revisits = 1);
+
+}  // namespace ptm::workload

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the cache model: replacement policies, single cache
+ * behaviour, and the multi-level hierarchy with latency accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/replacement.hpp"
+#include "common/rng.hpp"
+
+namespace ptm::cache {
+namespace {
+
+TEST(Replacement, LruEvictsLeastRecentlyUsed)
+{
+    auto lru = make_replacement_policy(ReplacementKind::Lru, 4, nullptr);
+    lru->touch(0);
+    lru->touch(1);
+    lru->touch(2);
+    lru->touch(3);
+    lru->touch(0);  // 1 is now the oldest
+    EXPECT_EQ(lru->victim(), 1u);
+    lru->touch(1);
+    EXPECT_EQ(lru->victim(), 2u);
+}
+
+TEST(Replacement, TreePlruAvoidsRecentWay)
+{
+    auto plru =
+        make_replacement_policy(ReplacementKind::TreePlru, 8, nullptr);
+    for (unsigned w = 0; w < 8; ++w)
+        plru->touch(w);
+    // The victim is never the most recently touched way.
+    for (unsigned w = 0; w < 8; ++w) {
+        plru->touch(w);
+        EXPECT_NE(plru->victim(), w);
+    }
+}
+
+TEST(Replacement, RandomStaysInRange)
+{
+    Rng rng(1);
+    auto random =
+        make_replacement_policy(ReplacementKind::Random, 4, &rng);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(random->victim(), 4u);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache cache({"t", 4096, 4, ReplacementKind::Lru});
+    EXPECT_FALSE(cache.access(10, AccessKind::Data));
+    EXPECT_TRUE(cache.access(10, AccessKind::Data));
+    EXPECT_EQ(cache.stats().misses[0].value(), 1u);
+    EXPECT_EQ(cache.stats().hits[0].value(), 1u);
+}
+
+TEST(Cache, ConflictEvictionWithLru)
+{
+    // 4 KiB, 2-way, 64B lines -> 32 sets. Lines k, k+32, k+64 map to the
+    // same set; the third install evicts the least recently used.
+    Cache cache({"t", 4096, 2, ReplacementKind::Lru});
+    EXPECT_FALSE(cache.access(0, AccessKind::Data));
+    EXPECT_FALSE(cache.access(32, AccessKind::Data));
+    EXPECT_FALSE(cache.access(64, AccessKind::Data));  // evicts line 0
+    EXPECT_FALSE(cache.access(0, AccessKind::Data));
+    EXPECT_TRUE(cache.access(64, AccessKind::Data));   // survived
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache cache({"t", 4096, 2, ReplacementKind::Lru});
+    cache.access(0, AccessKind::Data);
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(99));
+    // probe counts nothing
+    EXPECT_EQ(cache.stats().total_hits() + cache.stats().total_misses(),
+              1u);
+}
+
+TEST(Cache, InvalidateAndFlush)
+{
+    Cache cache({"t", 4096, 2, ReplacementKind::Lru});
+    cache.access(5, AccessKind::Data);
+    cache.access(6, AccessKind::Data);
+    cache.invalidate(5);
+    EXPECT_FALSE(cache.probe(5));
+    EXPECT_TRUE(cache.probe(6));
+    cache.flush();
+    EXPECT_EQ(cache.resident_lines(), 0u);
+}
+
+TEST(Cache, PerKindStats)
+{
+    Cache cache({"t", 4096, 4, ReplacementKind::Lru});
+    cache.access(1, AccessKind::Data);
+    cache.access(2, AccessKind::GuestPt);
+    cache.access(3, AccessKind::HostPt);
+    cache.access(3, AccessKind::HostPt);
+    EXPECT_EQ(cache.stats().misses[unsigned(AccessKind::Data)].value(), 1u);
+    EXPECT_EQ(cache.stats().misses[unsigned(AccessKind::GuestPt)].value(),
+              1u);
+    EXPECT_EQ(cache.stats().misses[unsigned(AccessKind::HostPt)].value(),
+              1u);
+    EXPECT_EQ(cache.stats().hits[unsigned(AccessKind::HostPt)].value(), 1u);
+}
+
+HierarchyConfig
+tiny_config()
+{
+    HierarchyConfig config;
+    config.l1 = {"L1D", 1024, 2, ReplacementKind::Lru};
+    config.l2 = {"L2", 4096, 4, ReplacementKind::Lru};
+    config.llc = {"LLC", 16384, 4, ReplacementKind::Lru};
+    return config;
+}
+
+TEST(Hierarchy, ColdAccessServedByMemoryThenL1)
+{
+    MemoryHierarchy hier(tiny_config(), 2);
+    AccessResult first = hier.access(0, 0x1000, AccessKind::Data);
+    EXPECT_EQ(first.served_by, ServedBy::Memory);
+    EXPECT_EQ(first.latency, hier.config().memory_latency);
+    AccessResult second = hier.access(0, 0x1000, AccessKind::Data);
+    EXPECT_EQ(second.served_by, ServedBy::L1);
+    EXPECT_EQ(second.latency, hier.config().l1_latency);
+}
+
+TEST(Hierarchy, SharedLlcPrivateL1)
+{
+    MemoryHierarchy hier(tiny_config(), 2);
+    hier.access(0, 0x2000, AccessKind::Data);  // core 0 warms all levels
+    // Core 1 misses its private L1/L2 but hits the shared LLC.
+    AccessResult r = hier.access(1, 0x2000, AccessKind::Data);
+    EXPECT_EQ(r.served_by, ServedBy::Llc);
+}
+
+TEST(Hierarchy, SameLineDifferentWordsHit)
+{
+    MemoryHierarchy hier(tiny_config(), 1);
+    hier.access(0, 0x3000, AccessKind::Data);
+    AccessResult r = hier.access(0, 0x3008, AccessKind::Data);
+    EXPECT_EQ(r.served_by, ServedBy::L1) << "same 64B line must hit";
+}
+
+TEST(Hierarchy, ServedByMemoryCounters)
+{
+    MemoryHierarchy hier(tiny_config(), 1);
+    hier.access(0, 0x0, AccessKind::HostPt);
+    hier.access(0, 0x40, AccessKind::HostPt);
+    hier.access(0, 0x0, AccessKind::HostPt);
+    EXPECT_EQ(hier.stats().served_by_memory(AccessKind::HostPt), 2u);
+    EXPECT_EQ(hier.stats().accesses[unsigned(AccessKind::HostPt)].value(),
+              3u);
+}
+
+TEST(Hierarchy, CapacityEvictionFallsBackToMemory)
+{
+    MemoryHierarchy hier(tiny_config(), 1);
+    // Touch far more distinct lines than the LLC holds (16 KiB = 256
+    // lines), then re-touch the first line: it must have been evicted.
+    for (Addr a = 0; a < 64 * 1024; a += kCacheLineSize)
+        hier.access(0, a, AccessKind::Data);
+    AccessResult r = hier.access(0, 0, AccessKind::Data);
+    EXPECT_EQ(r.served_by, ServedBy::Memory);
+}
+
+TEST(Hierarchy, FlushAllClearsEverything)
+{
+    MemoryHierarchy hier(tiny_config(), 2);
+    hier.access(0, 0x5000, AccessKind::Data);
+    hier.flush_all();
+    EXPECT_FALSE(hier.probe(0, 0x5000));
+    AccessResult r = hier.access(0, 0x5000, AccessKind::Data);
+    EXPECT_EQ(r.served_by, ServedBy::Memory);
+}
+
+TEST(Hierarchy, LatencyOrdering)
+{
+    MemoryHierarchy hier(tiny_config(), 1);
+    EXPECT_LT(hier.latency_of(ServedBy::L1), hier.latency_of(ServedBy::L2));
+    EXPECT_LT(hier.latency_of(ServedBy::L2),
+              hier.latency_of(ServedBy::Llc));
+    EXPECT_LT(hier.latency_of(ServedBy::Llc),
+              hier.latency_of(ServedBy::Memory));
+}
+
+/// Property sweep: for every replacement policy, a working-set that fits
+/// in the cache eventually stops missing.
+class PolicySweep : public ::testing::TestWithParam<ReplacementKind> {};
+
+TEST_P(PolicySweep, FittingWorkingSetConverges)
+{
+    Rng rng(9);
+    Cache cache({"t", 8192, 4, GetParam()}, &rng);  // 128 lines
+    // 64-line working set, touched round-robin for many rounds.
+    std::uint64_t misses_last_round = 0;
+    for (int round = 0; round < 50; ++round) {
+        std::uint64_t before = cache.stats().total_misses();
+        for (std::uint64_t line = 0; line < 64; ++line)
+            cache.access(line, AccessKind::Data);  // 2 lines per set
+        misses_last_round = cache.stats().total_misses() - before;
+    }
+    EXPECT_EQ(misses_last_round, 0u)
+        << replacement_kind_name(GetParam())
+        << " should retain a working set half its capacity";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweep,
+                         ::testing::Values(ReplacementKind::Lru,
+                                           ReplacementKind::TreePlru,
+                                           ReplacementKind::Random));
+
+}  // namespace
+}  // namespace ptm::cache

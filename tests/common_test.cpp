@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for src/common: address arithmetic, RNG, stats primitives.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(Types, PageArithmetic)
+{
+    EXPECT_EQ(page_floor(0x1234), 0x1000u);
+    EXPECT_EQ(page_ceil(0x1234), 0x2000u);
+    EXPECT_EQ(page_ceil(0x1000), 0x1000u);
+    EXPECT_EQ(page_number(0x3fff), 3u);
+    EXPECT_EQ(page_address(3), 0x3000u);
+    EXPECT_EQ(line_number(0x7f), 1u);
+    EXPECT_EQ(line_number(0x80), 2u);
+}
+
+TEST(Types, ConstantsMatchX86)
+{
+    EXPECT_EQ(kPageSize, 4096u);
+    EXPECT_EQ(kCacheLineSize, 64u);
+    EXPECT_EQ(kPtesPerCacheLine, 8u);
+    EXPECT_EQ(kPtesPerNode, 512u);
+    EXPECT_EQ(kPtLevels, 4u);
+    // The paper's 32 KiB reservation: 8 PTEs/line * 4 KiB pages.
+    EXPECT_EQ(kReservationBytes, 32u * 1024u);
+}
+
+TEST(Types, StrongPageIds)
+{
+    Gvpn a{5};
+    Gvpn b{5};
+    Gvpn c{6};
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(a.address(), 5u * kPageSize);
+    EXPECT_EQ(a.next(), c);
+    // Gvpn and Gfn are distinct types: no accidental cross-assignment.
+    static_assert(!std::is_convertible_v<Gvpn, Gfn>);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LE(same, 1);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = rng.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t v = rng.between(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageBasics)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Stats, HistogramClampsOverflow)
+{
+    Histogram h(4);
+    h.sample(0);
+    h.sample(3);
+    h.sample(99);  // clamps into the last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Stats, MetricSetPercentChange)
+{
+    MetricSet base;
+    base.set("walk_cycles", 100.0);
+    base.set("exec_time", 50.0);
+    MetricSet now;
+    now.set("walk_cycles", 161.0);
+    now.set("exec_time", 55.5);
+    MetricSet delta = now.percent_change_from(base);
+    EXPECT_NEAR(delta.get("walk_cycles"), 61.0, 1e-9);
+    EXPECT_NEAR(delta.get("exec_time"), 11.0, 1e-9);
+}
+
+TEST(Log, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the THP-like eager backing provider (the §2.3 comparison
+ * policy).
+ */
+#include <gtest/gtest.h>
+
+#include "vm/guest_kernel.hpp"
+#include "vm/huge_page_provider.hpp"
+
+namespace ptm::vm {
+namespace {
+
+class HugePageTest : public ::testing::Test {
+  protected:
+    HugePageTest() : kernel_(8192)
+    {
+        auto provider = std::make_unique<HugePageProvider>(&kernel_);
+        provider_ = provider.get();
+        kernel_.set_provider(std::move(provider));
+    }
+
+    GuestKernel kernel_;
+    HugePageProvider *provider_ = nullptr;
+};
+
+TEST_F(HugePageTest, FirstFaultBacksWholeRegionEagerly)
+{
+    Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(512 * kPageSize);
+    std::uint64_t gvpn = page_number(base);
+
+    mmu::FaultOutcome outcome = kernel_.handle_fault(proc, gvpn);
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_EQ(provider_->stats().regions_backed.value(), 1u);
+    // Every page of the (VMA-covered) region got mapped immediately.
+    EXPECT_EQ(proc.rss_pages(), 512u);
+    for (unsigned i = 0; i < 512; ++i)
+        EXPECT_TRUE(proc.page_table().lookup(gvpn + i)) << i;
+}
+
+TEST_F(HugePageTest, MappingsAreContiguousAndAligned)
+{
+    Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(512 * kPageSize);
+    std::uint64_t gvpn = page_number(base);
+    kernel_.handle_fault(proc, gvpn + 100);
+
+    std::uint64_t first = proc.page_table().lookup(gvpn)->frame();
+    EXPECT_EQ(first % 512, 0u);
+    for (unsigned i = 1; i < 512; ++i)
+        EXPECT_EQ(proc.page_table().lookup(gvpn + i)->frame(), first + i);
+}
+
+TEST_F(HugePageTest, PartialVmaLeavesUnusedBackedFrames)
+{
+    Process &proc = kernel_.create_process("app");
+    // A small VMA: the eager region spans 512 pages but only 64 are
+    // inside the mapping (the huge-page regions are VA-aligned, and the
+    // mmap area base is 2 MiB-aligned here).
+    Addr base = proc.vas().mmap(64 * kPageSize);
+    std::uint64_t gvpn = page_number(base);
+    ASSERT_EQ(gvpn % 512, 0u);
+    kernel_.handle_fault(proc, gvpn);
+
+    EXPECT_EQ(proc.rss_pages(), 64u);
+    EXPECT_EQ(provider_->unused_backed_pages(proc.pid()), 512u - 64u);
+    EXPECT_EQ(kernel_.memory().count_use(mem::FrameUse::Kernel,
+                                         proc.pid()),
+              512u - 64u);
+}
+
+TEST_F(HugePageTest, LaterVmaFaultServedFromRetainedFrames)
+{
+    Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(64 * kPageSize);
+    std::uint64_t gvpn = page_number(base);
+    kernel_.handle_fault(proc, gvpn);
+    std::uint64_t first = proc.page_table().lookup(gvpn)->frame();
+
+    // A new VMA lands inside the already-backed region: faults there are
+    // served from the retained frames, preserving contiguity.
+    Addr more = proc.vas().mmap(64 * kPageSize);
+    std::uint64_t more_vpn = page_number(more);
+    ASSERT_EQ(more_vpn / 512, gvpn / 512) << "same huge region";
+    kernel_.handle_fault(proc, more_vpn);
+    EXPECT_EQ(proc.page_table().lookup(more_vpn)->frame(),
+              first + (more_vpn - gvpn));
+}
+
+TEST_F(HugePageTest, FallsBackWhenNoContiguousBlock)
+{
+    GuestKernel small(600);
+    auto provider = std::make_unique<HugePageProvider>(&small);
+    HugePageProvider *raw = provider.get();
+    small.set_provider(std::move(provider));
+    Process &proc = small.create_process("app");
+    // Eat frames until no order-9 block remains.
+    while (small.buddy().can_allocate(9))
+        ASSERT_TRUE(small.buddy().allocate(9));
+    Addr base = proc.vas().mmap(512 * kPageSize);
+    mmu::FaultOutcome outcome =
+        small.handle_fault(proc, page_number(base));
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_EQ(raw->stats().fallback_singles.value(), 1u);
+    EXPECT_EQ(proc.rss_pages(), 1u);
+}
+
+TEST_F(HugePageTest, ExitReturnsRetainedFrames)
+{
+    std::uint64_t free_at_start = kernel_.buddy().free_frames_count();
+    Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(64 * kPageSize);
+    kernel_.handle_fault(proc, page_number(base));
+    EXPECT_GT(provider_->unused_backed_pages(proc.pid()), 0u);
+    kernel_.exit_process(proc);
+    EXPECT_EQ(kernel_.buddy().free_frames_count(), free_at_start);
+    kernel_.buddy().check_invariants();
+}
+
+}  // namespace
+}  // namespace ptm::vm

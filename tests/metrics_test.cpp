@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the fragmentation metric (against hand-constructed layouts)
+ * and the experiment-layer helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "host/host_kernel.hpp"
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+#include "vm/guest_kernel.hpp"
+
+namespace ptm::sim {
+namespace {
+
+/// Fixture with a guest process and a host VM whose mappings the test
+/// lays out by hand, so the fragmentation metric has a known oracle.
+class FragmentationMetricTest : public ::testing::Test {
+  protected:
+    FragmentationMetricTest()
+        : host_(8192), vm_(host_.create_vm()), guest_(8192),
+          proc_(guest_.create_process("app"))
+    {
+        base_vpn_ = page_number(proc_.vas().mmap(4 * kReservationBytes));
+    }
+
+    /// Map gvpn -> gfn in the guest and back gfn in the host.
+    void
+    map(std::uint64_t offset, std::uint64_t gfn)
+    {
+        ASSERT_TRUE(proc_.page_table().map(base_vpn_ + offset,
+                                           {.writable = true,
+                                            .frame = gfn}));
+        if (!vm_.page_table().lookup(gfn))
+            host_.handle_fault(vm_, gfn);
+    }
+
+    host::HostKernel host_;
+    host::VmInstance &vm_;
+    vm::GuestKernel guest_;
+    vm::Process &proc_;
+    std::uint64_t base_vpn_ = 0;
+};
+
+TEST_F(FragmentationMetricTest, EmptyProcessHasNoGroups)
+{
+    FragmentationReport report = host_pt_fragmentation(proc_, vm_);
+    EXPECT_EQ(report.groups, 0u);
+    EXPECT_EQ(report.average_hpte_lines, 0.0);
+}
+
+TEST_F(FragmentationMetricTest, PerfectlyContiguousGroupScoresOne)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        map(i, 1000 + i);  // aligned: 1000 % 8 == 0
+    FragmentationReport report = host_pt_fragmentation(proc_, vm_);
+    EXPECT_EQ(report.groups, 1u);
+    EXPECT_DOUBLE_EQ(report.average_hpte_lines, 1.0);
+    EXPECT_DOUBLE_EQ(report.fragmented_fraction, 0.0);
+}
+
+TEST_F(FragmentationMetricTest, FullyScatteredGroupScoresEight)
+{
+    // Eight pages, each mapped 64 frames apart: eight distinct hPTE
+    // lines — the worst case of §3.2.
+    for (unsigned i = 0; i < 8; ++i)
+        map(i, 1000 + i * 64);
+    FragmentationReport report = host_pt_fragmentation(proc_, vm_);
+    EXPECT_EQ(report.groups, 1u);
+    EXPECT_DOUBLE_EQ(report.average_hpte_lines, 8.0);
+    EXPECT_DOUBLE_EQ(report.fragmented_fraction, 1.0);
+    EXPECT_DOUBLE_EQ(report.max_hpte_lines, 8.0);
+}
+
+TEST_F(FragmentationMetricTest, StrideTwoScoresTwo)
+{
+    // Pages interleaved with a co-runner at stride 2: frames 0,2,4,..,14
+    // span exactly two hPTE lines.
+    for (unsigned i = 0; i < 8; ++i)
+        map(i, 2000 + i * 2);  // 2000 % 8 == 0
+    FragmentationReport report = host_pt_fragmentation(proc_, vm_);
+    EXPECT_DOUBLE_EQ(report.average_hpte_lines, 2.0);
+}
+
+TEST_F(FragmentationMetricTest, AveragesAcrossGroups)
+{
+    // Group 0 perfect, group 1 scattered over 4 lines (frame stride 4:
+    // two pages per 8-frame cache line).
+    for (unsigned i = 0; i < 8; ++i)
+        map(i, 1000 + i);
+    for (unsigned i = 0; i < 8; ++i)
+        map(8 + i, 3000 + i * 4);
+    FragmentationReport report = host_pt_fragmentation(proc_, vm_);
+    EXPECT_EQ(report.groups, 2u);
+    EXPECT_DOUBLE_EQ(report.average_hpte_lines, 2.5);
+    EXPECT_DOUBLE_EQ(report.fragmented_fraction, 0.5);
+    EXPECT_DOUBLE_EQ(report.max_hpte_lines, 4.0);
+}
+
+TEST_F(FragmentationMetricTest, PartialGroupsCountTheirMappedPagesOnly)
+{
+    map(0, 5000);
+    map(1, 5001);
+    FragmentationReport report = host_pt_fragmentation(proc_, vm_);
+    EXPECT_EQ(report.groups, 1u);
+    EXPECT_DOUBLE_EQ(report.average_hpte_lines, 1.0);
+}
+
+TEST_F(FragmentationMetricTest, UnalignedFramesCanStillSplitLines)
+{
+    // Contiguous but misaligned frames 1003..1010 straddle two lines —
+    // contiguity alone is not enough; PTEMagnet's chunks are *aligned*.
+    for (unsigned i = 0; i < 8; ++i)
+        map(i, 1003 + i);
+    FragmentationReport report = host_pt_fragmentation(proc_, vm_);
+    EXPECT_DOUBLE_EQ(report.average_hpte_lines, 2.0);
+}
+
+TEST(ExperimentHelpers, GeomeanOfEqualValues)
+{
+    EXPECT_NEAR(geomean_improvement({4.0, 4.0, 4.0}), 4.0, 1e-9);
+}
+
+TEST(ExperimentHelpers, GeomeanIsBelowArithmeticMean)
+{
+    double geomean = geomean_improvement({1.0, 9.0});
+    EXPECT_LT(geomean, 5.0);
+    EXPECT_GT(geomean, 1.0);
+}
+
+TEST(ExperimentHelpers, GeomeanOfEmptyIsZero)
+{
+    EXPECT_EQ(geomean_improvement({}), 0.0);
+}
+
+TEST(ExperimentHelpers, ImprovementPercentSign)
+{
+    PairedResult pair;
+    pair.baseline.victim_cycles = 100;
+    pair.ptemagnet.victim_cycles = 93;
+    EXPECT_NEAR(pair.improvement_percent(), 7.0, 1e-9);
+    pair.ptemagnet.victim_cycles = 110;
+    EXPECT_NEAR(pair.improvement_percent(), -10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ptm::sim

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit and concurrency tests for PaRT, the Page Reservation Table.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/part.hpp"
+
+namespace ptm::core {
+namespace {
+
+TEST(Part, ClaimOnEmptyTableMisses)
+{
+    Part part;
+    ClaimResult result = part.claim(5, 3);
+    EXPECT_FALSE(result.found);
+    EXPECT_EQ(part.stats().lookups.load(), 1u);
+    EXPECT_EQ(part.stats().hits.load(), 0u);
+}
+
+TEST(Part, CreateThenClaimHandsOutChunkFrames)
+{
+    Part part;
+    EXPECT_EQ(part.create(10, 800, 2), 802u);
+    for (unsigned offset : {0u, 1u, 3u, 7u}) {
+        ClaimResult claim = part.claim(10, offset);
+        ASSERT_TRUE(claim.found);
+        EXPECT_EQ(claim.gfn, 800u + offset);
+    }
+    EXPECT_EQ(part.live_reservations(), 1u);
+}
+
+TEST(Part, FullMaskDeletesEntry)
+{
+    Part part;
+    part.create(3, 80, 0);
+    for (unsigned offset = 1; offset < 8; ++offset) {
+        ClaimResult claim = part.claim(3, offset);
+        ASSERT_TRUE(claim.found);
+        EXPECT_EQ(claim.deleted_full, offset == 7);
+    }
+    EXPECT_EQ(part.live_reservations(), 0u);
+    EXPECT_FALSE(part.find(3).has_value());
+    EXPECT_FALSE(part.claim(3, 0).found) << "deleted entry cannot serve";
+    EXPECT_EQ(part.stats().deletes_full.load(), 1u);
+}
+
+TEST(Part, UnmappedReservedAccounting)
+{
+    Part part;
+    EXPECT_EQ(part.unmapped_reserved_pages(), 0u);
+    part.create(1, 8, 0);
+    EXPECT_EQ(part.unmapped_reserved_pages(), 7u);
+    part.claim(1, 1);
+    part.claim(1, 2);
+    EXPECT_EQ(part.unmapped_reserved_pages(), 5u);
+    part.release(1, 2);
+    EXPECT_EQ(part.unmapped_reserved_pages(), 6u);
+    // Fill the group: the entry disappears and contributes nothing.
+    for (unsigned offset : {2u, 3u, 4u, 5u, 6u, 7u})
+        part.claim(1, offset);
+    EXPECT_EQ(part.unmapped_reserved_pages(), 0u);
+}
+
+TEST(Part, ReleaseToEmptyDeletesAndReportsBase)
+{
+    Part part;
+    part.create(7, 3200, 4);
+    ReleaseResult released = part.release(7, 4);
+    ASSERT_TRUE(released.found);
+    EXPECT_TRUE(released.deleted_empty);
+    EXPECT_EQ(released.base_gfn, 3200u);
+    EXPECT_EQ(part.live_reservations(), 0u);
+    EXPECT_EQ(part.unmapped_reserved_pages(), 0u);
+    EXPECT_EQ(part.stats().deletes_free.load(), 1u);
+}
+
+TEST(Part, ReleaseKeepsEntryWhileOthersMapped)
+{
+    Part part;
+    part.create(7, 3200, 4);
+    part.claim(7, 5);
+    ReleaseResult released = part.release(7, 4);
+    ASSERT_TRUE(released.found);
+    EXPECT_FALSE(released.deleted_empty);
+    EXPECT_EQ(released.final_mask, 1u << 5);
+    // The released page can be claimed again (frame reuse).
+    ClaimResult again = part.claim(7, 4);
+    ASSERT_TRUE(again.found);
+    EXPECT_EQ(again.gfn, 3204u);
+}
+
+TEST(Part, ReleaseOnUnknownGroupMisses)
+{
+    Part part;
+    EXPECT_FALSE(part.release(99, 0).found);
+}
+
+TEST(Part, FindReturnsSnapshot)
+{
+    Part part;
+    part.create(42, 1000, 1);
+    auto view = part.find(42);
+    ASSERT_TRUE(view);
+    EXPECT_EQ(view->group, 42u);
+    EXPECT_EQ(view->base_gfn, 1000u);
+    EXPECT_EQ(view->mask, 1u << 1);
+}
+
+TEST(Part, DistantGroupsDoNotCollide)
+{
+    // Groups differing only in high radix digits must be independent.
+    Part part;
+    std::uint64_t a = 5;
+    std::uint64_t b = 5 + (1ull << 27);  // differs at the root level
+    part.create(a, 100, 0);
+    part.create(b, 200, 0);
+    EXPECT_EQ(part.find(a)->base_gfn, 100u);
+    EXPECT_EQ(part.find(b)->base_gfn, 200u);
+}
+
+TEST(Part, DrainVisitsAndRemovesEverything)
+{
+    Part part;
+    for (std::uint64_t group = 0; group < 100; group += 7)
+        part.create(group, group * 8, 0);
+    std::uint64_t visited = 0;
+    std::uint64_t unmapped = 0;
+    part.drain([&](const ReservationView &view) {
+        ++visited;
+        unmapped += 8 - std::popcount(view.mask);
+        EXPECT_EQ(view.base_gfn, view.group * 8);
+    });
+    EXPECT_EQ(visited, 15u);
+    EXPECT_EQ(unmapped, 15u * 7u);
+    EXPECT_EQ(part.live_reservations(), 0u);
+    EXPECT_EQ(part.unmapped_reserved_pages(), 0u);
+}
+
+TEST(Part, GranularityVariants)
+{
+    for (unsigned pages : {2u, 4u, 16u, 32u}) {
+        Part part(pages);
+        EXPECT_EQ(part.pages_per_group(), pages);
+        part.create(1, 64, 0);
+        EXPECT_EQ(part.unmapped_reserved_pages(), pages - 1);
+        bool deleted = false;
+        for (unsigned offset = 1; offset < pages; ++offset)
+            deleted = part.claim(1, offset).deleted_full;
+        EXPECT_TRUE(deleted) << pages;
+        EXPECT_EQ(part.live_reservations(), 0u);
+    }
+}
+
+/// Concurrency hammer: many threads claim/release/create against
+/// disjoint and overlapping groups; per-group invariants must hold.
+class PartConcurrencyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PartConcurrencyTest, ParallelClaimsNeverDuplicateFrames)
+{
+    const unsigned threads = GetParam();
+    Part part;
+    constexpr std::uint64_t kGroups = 64;
+
+    // Pre-create one reservation per group.
+    for (std::uint64_t group = 0; group < kGroups; ++group)
+        part.create(group, group * 8, 7);  // offset 7 pre-claimed
+
+    // Each of offsets 0..6 of each group must be claimed exactly once
+    // across all threads.
+    std::atomic<int> claims[kGroups][8] = {};
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&part, &claims, t]() {
+            Rng rng(1000 + t);
+            for (int i = 0; i < 20000; ++i) {
+                std::uint64_t group = rng.below(kGroups);
+                unsigned offset = static_cast<unsigned>(rng.below(7));
+                ClaimResult claim = part.claim(group, offset);
+                if (claim.found && !claim.already_mapped) {
+                    EXPECT_EQ(claim.gfn, group * 8 + offset);
+                    claims[group][offset].fetch_add(1);
+                    // Release it again so others can contend for it,
+                    // unless the claim completed the group.
+                    if (!claim.deleted_full)
+                        part.release(group, offset);
+                }
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    // Consistency: every group is either fully deleted (claimed to
+    // completion at some point) or still live with only offset 7 set.
+    for (std::uint64_t group = 0; group < kGroups; ++group) {
+        auto view = part.find(group);
+        if (view) {
+            EXPECT_EQ(view->mask & (1u << 7), 1u << 7);
+        }
+    }
+}
+
+TEST_P(PartConcurrencyTest, ParallelCreateInDisjointRegions)
+{
+    const unsigned threads = GetParam();
+    Part part;
+    constexpr std::uint64_t kPerThread = 2000;
+
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&part, t]() {
+            // Thread-private group range: exercises hand-over-hand
+            // descent through shared upper nodes.
+            std::uint64_t base = static_cast<std::uint64_t>(t) << 32;
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                part.create(base + i, (base + i) * 8, 0);
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    EXPECT_EQ(part.live_reservations(), threads * kPerThread);
+    for (unsigned t = 0; t < threads; ++t) {
+        std::uint64_t base = static_cast<std::uint64_t>(t) << 32;
+        auto view = part.find(base + kPerThread / 2);
+        ASSERT_TRUE(view);
+        EXPECT_EQ(view->base_gfn, (base + kPerThread / 2) * 8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PartConcurrencyTest,
+                         ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace ptm::core

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the PTEMagnet provider wired into the guest kernel: the
+ * reservation fast/slow paths, free semantics, reclamation, fork rules,
+ * the enablement policy, and frame-accounting invariants.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ptemagnet_provider.hpp"
+#include "vm/guest_kernel.hpp"
+
+namespace ptm::core {
+namespace {
+
+using FrameUse = mem::FrameUse;
+
+class PtemagnetTest : public ::testing::Test {
+  protected:
+    static constexpr std::uint64_t kFrames = 4096;
+
+    PtemagnetTest() : kernel_(kFrames)
+    {
+        auto provider = std::make_unique<PtemagnetProvider>(&kernel_);
+        provider_ = provider.get();
+        kernel_.set_provider(std::move(provider));
+    }
+
+    /// Fault in one page and return its guest frame.
+    std::uint64_t
+    fault(vm::Process &proc, std::uint64_t gvpn)
+    {
+        mmu::FaultOutcome outcome = kernel_.handle_fault(proc, gvpn);
+        EXPECT_TRUE(outcome.ok);
+        return outcome.frame;
+    }
+
+    vm::GuestKernel kernel_;
+    PtemagnetProvider *provider_ = nullptr;
+};
+
+TEST_F(PtemagnetTest, FirstFaultReservesWholeGroup)
+{
+    vm::Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(kReservationBytes);
+    std::uint64_t gvpn = page_number(base);
+
+    std::uint64_t gfn = fault(proc, gvpn);
+    EXPECT_EQ(provider_->stats().reservations_created.value(), 1u);
+    // The chunk is aligned and the faulting page got slot (gvpn % 8).
+    EXPECT_EQ(gfn % 8, gvpn % 8);
+    // The other 7 frames are marked Reserved, the mapped one Data.
+    EXPECT_EQ(kernel_.memory().count_use(FrameUse::Reserved), 7u);
+    EXPECT_EQ(kernel_.memory().count_use(FrameUse::Data, proc.pid()), 1u);
+}
+
+TEST_F(PtemagnetTest, GroupFaultsGetContiguousFrames)
+{
+    vm::Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(kReservationBytes);
+    std::uint64_t gvpn0 = page_number(base);
+    ASSERT_EQ(gvpn0 % 8, 0u) << "mmap regions are naturally aligned here";
+
+    std::uint64_t first = fault(proc, gvpn0);
+    for (unsigned i = 1; i < 8; ++i) {
+        std::uint64_t gfn = fault(proc, gvpn0 + i);
+        EXPECT_EQ(gfn, first + i) << "page " << i;
+    }
+    // The reservation filled up: its entry is gone and only one buddy
+    // call was ever made.
+    EXPECT_EQ(provider_->total_live_reservations(), 0u);
+    EXPECT_EQ(provider_->stats().part_hits.value(), 7u);
+    EXPECT_EQ(provider_->stats().buddy_calls.value(), 1u);
+    EXPECT_EQ(kernel_.memory().count_use(FrameUse::Reserved), 0u);
+}
+
+TEST_F(PtemagnetTest, InterleavedProcessesStayContiguous)
+{
+    // The headline property: even with perfectly interleaved faults from
+    // two processes, each process's group is physically contiguous.
+    vm::Process &a = kernel_.create_process("a");
+    vm::Process &b = kernel_.create_process("b");
+    std::uint64_t vpn_a = page_number(a.vas().mmap(kReservationBytes));
+    std::uint64_t vpn_b = page_number(b.vas().mmap(kReservationBytes));
+
+    std::uint64_t base_a = fault(a, vpn_a);
+    std::uint64_t base_b = fault(b, vpn_b);
+    for (unsigned i = 1; i < 8; ++i) {
+        EXPECT_EQ(fault(a, vpn_a + i), base_a + i);
+        EXPECT_EQ(fault(b, vpn_b + i), base_b + i);
+    }
+}
+
+TEST_F(PtemagnetTest, FreeBeforeFullReturnsFrameToReservation)
+{
+    vm::Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(kReservationBytes);
+    std::uint64_t gvpn = page_number(base);
+
+    std::uint64_t gfn0 = fault(proc, gvpn);
+    fault(proc, gvpn + 1);
+    std::uint64_t free_before = kernel_.buddy().free_frames_count();
+    kernel_.free_page(proc, gvpn);
+    // Frame went back to the reservation, not the buddy.
+    EXPECT_EQ(kernel_.buddy().free_frames_count(), free_before);
+    EXPECT_EQ(kernel_.memory().info(gfn0).use, FrameUse::Reserved);
+    // Re-faulting the page returns the very same frame.
+    EXPECT_EQ(fault(proc, gvpn), gfn0);
+}
+
+TEST_F(PtemagnetTest, FreeingAllPagesReturnsWholeChunk)
+{
+    vm::Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(kReservationBytes);
+    std::uint64_t gvpn = page_number(base);
+    std::uint64_t free_at_start = kernel_.buddy().free_frames_count();
+
+    fault(proc, gvpn);
+    fault(proc, gvpn + 3);
+    kernel_.free_page(proc, gvpn);
+    kernel_.free_page(proc, gvpn + 3);
+
+    // Everything except the page-table nodes created by the mappings is
+    // free again (PT pages persist until process exit, as in Linux).
+    std::uint64_t pt_nodes = proc.page_table().node_count() - 1;
+    EXPECT_EQ(kernel_.buddy().free_frames_count(),
+              free_at_start - pt_nodes);
+    EXPECT_EQ(provider_->total_live_reservations(), 0u);
+    EXPECT_EQ(kernel_.memory().count_use(FrameUse::Reserved), 0u);
+    kernel_.buddy().check_invariants();
+}
+
+TEST_F(PtemagnetTest, FreeAfterFullGroupUsesDefaultPath)
+{
+    vm::Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(kReservationBytes);
+    std::uint64_t gvpn = page_number(base);
+    for (unsigned i = 0; i < 8; ++i)
+        fault(proc, gvpn + i);
+
+    std::uint64_t free_before = kernel_.buddy().free_frames_count();
+    kernel_.free_page(proc, gvpn + 2);
+    EXPECT_EQ(kernel_.buddy().free_frames_count(), free_before + 1)
+        << "no reservation covers the group: frame goes to the buddy";
+}
+
+TEST_F(PtemagnetTest, ReclaimReleasesOnlyUnmappedFrames)
+{
+    vm::Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(4 * kReservationBytes);
+    std::uint64_t gvpn = page_number(base);
+    // Open four reservations, one page each.
+    for (unsigned group = 0; group < 4; ++group)
+        fault(proc, gvpn + group * 8);
+    EXPECT_EQ(provider_->total_unmapped_reserved(), 4u * 7u);
+
+    std::uint64_t free_before = kernel_.buddy().free_frames_count();
+    std::uint64_t freed = provider_->reclaim(1000);
+    EXPECT_EQ(freed, 28u);
+    EXPECT_EQ(kernel_.buddy().free_frames_count(), free_before + 28);
+    EXPECT_EQ(provider_->total_unmapped_reserved(), 0u);
+    // The four mapped pages are untouched.
+    EXPECT_EQ(proc.rss_pages(), 4u);
+    for (unsigned group = 0; group < 4; ++group)
+        EXPECT_TRUE(proc.page_table().lookup(gvpn + group * 8));
+}
+
+TEST_F(PtemagnetTest, FaultAfterReclaimOpensFreshReservation)
+{
+    vm::Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(kReservationBytes);
+    std::uint64_t gvpn = page_number(base);
+    std::uint64_t gfn0 = fault(proc, gvpn);
+    provider_->reclaim(1000);
+
+    // A later fault in the same group cannot reuse the released chunk.
+    std::uint64_t gfn1 = fault(proc, gvpn + 1);
+    EXPECT_NE(gfn1, gfn0 + 1);
+    // Freeing the pre-reclaim page must not corrupt the new entry.
+    kernel_.free_page(proc, gvpn);
+    EXPECT_TRUE(provider_->part_of(proc.pid())->find(gvpn / 8));
+    kernel_.buddy().check_invariants();
+}
+
+TEST_F(PtemagnetTest, FallbackToSinglePagesWhenFragmented)
+{
+    // Exhaust contiguity: allocate everything, free every other frame.
+    vm::Process &proc = kernel_.create_process("app");
+    std::vector<std::uint64_t> frames;
+    while (auto frame = kernel_.buddy().allocate_frame())
+        frames.push_back(*frame);
+    for (std::size_t i = 0; i < frames.size(); i += 2)
+        kernel_.buddy().free(frames[i]);
+    ASSERT_FALSE(kernel_.buddy().can_allocate(3));
+
+    Addr base = proc.vas().mmap(kReservationBytes);
+    std::uint64_t gfn = fault(proc, page_number(base));
+    (void)gfn;
+    EXPECT_EQ(provider_->stats().fallback_singles.value(), 1u);
+    EXPECT_EQ(provider_->total_live_reservations(), 0u);
+    // Cleanup for the kernel's destructor invariants.
+    kernel_.free_page(proc, page_number(base));
+    for (std::size_t i = 1; i < frames.size(); i += 2)
+        kernel_.buddy().free(frames[i]);
+}
+
+TEST_F(PtemagnetTest, ChildServedFromParentReservation)
+{
+    vm::Process &parent = kernel_.create_process("parent");
+    Addr base = parent.vas().mmap(kReservationBytes);
+    std::uint64_t gvpn = page_number(base);
+    std::uint64_t parent_gfn = fault(parent, gvpn);
+
+    vm::Process &child = kernel_.fork(parent);
+    // The child faults on a page the parent never touched: served from
+    // the parent's reservation, keeping the group contiguous (§4.4).
+    std::uint64_t child_gfn = fault(child, gvpn + 1);
+    EXPECT_EQ(child_gfn, parent_gfn + 1);
+    EXPECT_EQ(provider_->stats().child_served_by_parent.value(), 1u);
+}
+
+TEST_F(PtemagnetTest, EnablePredicateBypassesSmallProcesses)
+{
+    provider_->set_enabled_predicate([](const vm::Process &proc) {
+        return proc.name() != "small";
+    });
+    vm::Process &small = kernel_.create_process("small");
+    Addr base = small.vas().mmap(kReservationBytes);
+    fault(small, page_number(base));
+    EXPECT_EQ(provider_->stats().disabled_allocs.value(), 1u);
+    EXPECT_EQ(provider_->total_live_reservations(), 0u);
+}
+
+TEST_F(PtemagnetTest, MemoryLimitPolicySelectsBigContainers)
+{
+    // §4.4: the orchestrator declares memory.limit_in_bytes; PTEMagnet
+    // engages only above the threshold.
+    provider_->use_memory_limit_policy(64 * 1024 * 1024);
+    vm::Process &big = kernel_.create_process("big");
+    big.set_memory_limit_bytes(512ull * 1024 * 1024);
+    vm::Process &small = kernel_.create_process("small");
+    small.set_memory_limit_bytes(16 * 1024 * 1024);
+
+    Addr big_base = big.vas().mmap(kReservationBytes);
+    Addr small_base = small.vas().mmap(kReservationBytes);
+    fault(big, page_number(big_base));
+    fault(small, page_number(small_base));
+
+    EXPECT_EQ(provider_->stats().reservations_created.value(), 1u);
+    EXPECT_EQ(provider_->stats().disabled_allocs.value(), 1u);
+    EXPECT_NE(provider_->part_of(big.pid()), nullptr);
+    EXPECT_EQ(provider_->part_of(small.pid()), nullptr);
+}
+
+TEST_F(PtemagnetTest, ProcessExitReleasesReservations)
+{
+    std::uint64_t free_at_start = kernel_.buddy().free_frames_count();
+    vm::Process &proc = kernel_.create_process("app");
+    Addr base = proc.vas().mmap(2 * kReservationBytes);
+    fault(proc, page_number(base));
+    fault(proc, page_number(base) + 8);
+    kernel_.exit_process(proc);
+    EXPECT_EQ(kernel_.buddy().free_frames_count(), free_at_start);
+    kernel_.buddy().check_invariants();
+}
+
+TEST_F(PtemagnetTest, KernelPressureTriggersProviderReclaim)
+{
+    // Configure watermarks, then eat almost all free memory so the next
+    // fault dips below the low watermark.
+    kernel_.set_reclaim_policy({.low_watermark_frames = kFrames / 2,
+                                .high_watermark_frames = kFrames / 2 + 64});
+    vm::Process &proc = kernel_.create_process("app");
+    Addr big = proc.vas().mmap((kFrames / 2) * kPageSize);
+    std::uint64_t gvpn = page_number(big);
+    for (std::uint64_t i = 0; i < kFrames / 2; i += 8)
+        fault(proc, gvpn + i);  // one page per group: 7/8 reserved
+    EXPECT_GT(kernel_.stats().reclaim_runs.value(), 0u);
+    EXPECT_GT(kernel_.stats().frames_reclaimed.value(), 0u);
+}
+
+TEST_F(PtemagnetTest, GranularityFourPages)
+{
+    vm::GuestKernel kernel(1024);
+    auto provider = std::make_unique<PtemagnetProvider>(&kernel, 4);
+    PtemagnetProvider *raw = provider.get();
+    kernel.set_provider(std::move(provider));
+    vm::Process &proc = kernel.create_process("app");
+    Addr base = proc.vas().mmap(8 * kPageSize);
+    std::uint64_t gvpn = page_number(base);
+
+    mmu::FaultOutcome first = kernel.handle_fault(proc, gvpn);
+    ASSERT_TRUE(first.ok);
+    mmu::FaultOutcome fifth = kernel.handle_fault(proc, gvpn + 4);
+    ASSERT_TRUE(fifth.ok);
+    // Pages 0 and 4 are in different 4-page groups: two reservations.
+    EXPECT_EQ(raw->stats().reservations_created.value(), 2u);
+}
+
+}  // namespace
+}  // namespace ptm::core

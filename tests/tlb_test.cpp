@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the associative cache template, the two-level TLB, the
+ * page-walk caches, and the nested TLB.
+ */
+#include <gtest/gtest.h>
+
+#include "tlb/assoc_cache.hpp"
+#include "tlb/tlb.hpp"
+
+namespace ptm::tlb {
+namespace {
+
+TEST(AssocCache, InsertLookup)
+{
+    AssocCache<std::uint64_t> cache(16, 4);
+    EXPECT_FALSE(cache.lookup(5).has_value());
+    cache.insert(5, 50);
+    auto v = cache.lookup(5);
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 50u);
+    EXPECT_EQ(cache.stats().hits.value(), 1u);
+    EXPECT_EQ(cache.stats().misses.value(), 1u);
+}
+
+TEST(AssocCache, LruEvictionWithinSet)
+{
+    // 8 entries, 4 ways -> 2 sets. Even keys map to set 0.
+    AssocCache<std::uint64_t> cache(8, 4);
+    for (std::uint64_t k = 0; k < 8; k += 2)
+        cache.insert(k, k);
+    cache.lookup(0);  // refresh 0; LRU of set 0 becomes 2
+    cache.insert(8, 8);
+    EXPECT_TRUE(cache.probe(0).has_value());
+    EXPECT_FALSE(cache.probe(2).has_value()) << "LRU way must be evicted";
+    EXPECT_EQ(cache.stats().evictions.value(), 1u);
+}
+
+TEST(AssocCache, InsertRefreshesExisting)
+{
+    AssocCache<std::uint64_t> cache(4, 4);
+    cache.insert(1, 10);
+    cache.insert(1, 11);
+    EXPECT_EQ(*cache.probe(1), 11u);
+    EXPECT_EQ(cache.occupancy(), 1u);
+}
+
+TEST(AssocCache, InvalidateSingleAndAll)
+{
+    AssocCache<std::uint64_t> cache(8, 2);
+    cache.insert(1, 1);
+    cache.insert(2, 2);
+    cache.invalidate(1);
+    EXPECT_FALSE(cache.probe(1));
+    EXPECT_TRUE(cache.probe(2));
+    cache.invalidate_all();
+    EXPECT_EQ(cache.occupancy(), 0u);
+}
+
+TlbConfig
+tiny_tlb()
+{
+    TlbConfig config;
+    config.l1_entries = 8;
+    config.l1_ways = 2;
+    config.l2_entries = 32;
+    config.l2_ways = 4;
+    config.pwc_entries = 8;
+    config.pwc_ways = 2;
+    config.nested_entries = 16;
+    config.nested_ways = 4;
+    return config;
+}
+
+TEST(TlbHierarchy, MissThenL1Hit)
+{
+    TlbHierarchy tlb(tiny_tlb());
+    EXPECT_EQ(tlb.lookup(7).level, TlbLevel::Miss);
+    tlb.insert(7, 70);
+    auto r = tlb.lookup(7);
+    EXPECT_EQ(r.level, TlbLevel::L1);
+    EXPECT_EQ(r.hfn, 70u);
+}
+
+TEST(TlbHierarchy, L2BackfillsL1)
+{
+    TlbHierarchy tlb(tiny_tlb());
+    // Fill L1 set of key 1 (2 ways, 4 sets: keys 1, 5, 9 share set 1).
+    tlb.insert(1, 10);
+    tlb.insert(5, 50);
+    tlb.insert(9, 90);  // evicts key 1 from L1; still in L2
+    auto r = tlb.lookup(1);
+    EXPECT_EQ(r.level, TlbLevel::L2);
+    EXPECT_EQ(r.hfn, 10u);
+    // Backfilled: now an L1 hit.
+    EXPECT_EQ(tlb.lookup(1).level, TlbLevel::L1);
+}
+
+TEST(TlbHierarchy, InvalidateDropsBothLevels)
+{
+    TlbHierarchy tlb(tiny_tlb());
+    tlb.insert(3, 30);
+    tlb.invalidate(3);
+    EXPECT_EQ(tlb.lookup(3).level, TlbLevel::Miss);
+}
+
+TEST(TlbHierarchy, FlushDropsEverything)
+{
+    TlbHierarchy tlb(tiny_tlb());
+    for (std::uint64_t k = 0; k < 8; ++k)
+        tlb.insert(k, k);
+    tlb.flush();
+    for (std::uint64_t k = 0; k < 8; ++k)
+        EXPECT_EQ(tlb.lookup(k).level, TlbLevel::Miss);
+}
+
+TEST(PageWalkCache, DeepestLevelWins)
+{
+    PageWalkCache pwc(tiny_tlb());
+    std::uint64_t gvpn = (1ull << 27) | (2ull << 18) | (3ull << 9) | 4;
+    pwc.insert(gvpn, 0, 100);  // PML4E -> PDPT node 100
+    pwc.insert(gvpn, 1, 200);  // PDPTE -> PD node 200
+    pwc.insert(gvpn, 2, 300);  // PDE   -> PT node 300
+    auto hit = pwc.lookup(gvpn);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->resume_level, 3u);
+    EXPECT_EQ(hit->node_frame, 300u);
+}
+
+TEST(PageWalkCache, PrefixSharingAcrossNeighbours)
+{
+    PageWalkCache pwc(tiny_tlb());
+    std::uint64_t gvpn_a = (1ull << 9) | 5;  // same PD entry as b
+    std::uint64_t gvpn_b = (1ull << 9) | 6;
+    pwc.insert(gvpn_a, 2, 42);
+    auto hit = pwc.lookup(gvpn_b);
+    ASSERT_TRUE(hit) << "neighbouring pages share the PDE";
+    EXPECT_EQ(hit->node_frame, 42u);
+    // A page under a different PDE misses.
+    EXPECT_FALSE(pwc.lookup((2ull << 9) | 5).has_value());
+}
+
+TEST(PageWalkCache, UpperLevelHitWhenDeepMisses)
+{
+    PageWalkCache pwc(tiny_tlb());
+    std::uint64_t gvpn = (7ull << 27) | (1ull << 18);
+    pwc.insert(gvpn, 0, 11);
+    std::uint64_t sibling = (7ull << 27) | (2ull << 18);  // same PML4E
+    auto hit = pwc.lookup(sibling);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->resume_level, 1u);
+    EXPECT_EQ(hit->node_frame, 11u);
+}
+
+TEST(PageWalkCache, DisabledNeverHits)
+{
+    TlbConfig config = tiny_tlb();
+    config.pwc_enabled = false;
+    PageWalkCache pwc(config);
+    pwc.insert(1, 0, 5);
+    EXPECT_FALSE(pwc.lookup(1).has_value());
+    EXPECT_FALSE(pwc.enabled());
+}
+
+TEST(NestedTlb, RoundTrip)
+{
+    NestedTlb ntlb(tiny_tlb());
+    EXPECT_FALSE(ntlb.lookup(9).has_value());
+    ntlb.insert(9, 99);
+    auto v = ntlb.lookup(9);
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, 99u);
+    ntlb.invalidate(9);
+    EXPECT_FALSE(ntlb.lookup(9).has_value());
+}
+
+TEST(NestedTlb, DisabledNeverHits)
+{
+    TlbConfig config = tiny_tlb();
+    config.nested_tlb_enabled = false;
+    NestedTlb ntlb(config);
+    ntlb.insert(1, 2);
+    EXPECT_FALSE(ntlb.lookup(1).has_value());
+}
+
+}  // namespace
+}  // namespace ptm::tlb

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for access patterns, the synthetic workload machinery, and the
+ * benchmark catalog.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workload/catalog.hpp"
+#include "workload/patterns.hpp"
+#include "workload/synthetic.hpp"
+
+namespace ptm::workload {
+namespace {
+
+/// Minimal in-memory WorkloadContext for driving workloads standalone.
+class FakeContext final : public WorkloadContext {
+  public:
+    Addr
+    mmap(Addr bytes) override
+    {
+        Addr base = cursor_;
+        cursor_ += page_ceil(bytes) + 16 * kPageSize;
+        live_.insert(base);
+        ++mmaps;
+        return base;
+    }
+
+    void
+    munmap(Addr base) override
+    {
+        ASSERT_TRUE(live_.erase(base) == 1) << "munmap of unknown region";
+        ++munmaps;
+    }
+
+    void free_page(Addr) override { ++page_frees; }
+
+    int mmaps = 0;
+    int munmaps = 0;
+    int page_frees = 0;
+
+  private:
+    Addr cursor_ = 1ull << 32;
+    std::set<Addr> live_;
+};
+
+Region
+bind(AccessPattern &pattern, Addr size)
+{
+    Region region{1ull << 30, size};
+    pattern.bind(region);
+    return region;
+}
+
+TEST(Patterns, SequentialWrapsAndStaysInRegion)
+{
+    SequentialPattern pattern(kCacheLineSize, 0.0);
+    Region region = bind(pattern, 4 * kPageSize);
+    Rng rng(1);
+    Addr prev = 0;
+    for (int i = 0; i < 1000; ++i) {
+        MemOp op = pattern.next(rng);
+        ASSERT_GE(op.gva, region.base);
+        ASSERT_LT(op.gva, region.base + region.size);
+        if (i > 0 && op.gva != region.base) {
+            EXPECT_EQ(op.gva, prev + kCacheLineSize);
+        }
+        prev = op.gva;
+    }
+}
+
+TEST(Patterns, RandomCoversRegion)
+{
+    RandomPattern pattern(0.0);
+    Region region = bind(pattern, 16 * kPageSize);
+    Rng rng(2);
+    std::set<std::uint64_t> pages;
+    for (int i = 0; i < 2000; ++i) {
+        MemOp op = pattern.next(rng);
+        ASSERT_GE(op.gva, region.base);
+        ASSERT_LT(op.gva, region.base + region.size);
+        pages.insert(page_number(op.gva));
+    }
+    EXPECT_EQ(pages.size(), 16u);
+}
+
+TEST(Patterns, WriteFractionRoughlyHolds)
+{
+    RandomPattern pattern(0.3);
+    (void)bind(pattern, 4 * kPageSize);
+    Rng rng(3);
+    int writes = 0;
+    for (int i = 0; i < 10000; ++i)
+        writes += pattern.next(rng).write;
+    EXPECT_NEAR(writes / 10000.0, 0.3, 0.03);
+}
+
+TEST(Patterns, PageSweepVisitsWindowPagesAscending)
+{
+    PageSweepPattern pattern(8, 1, 0.0);
+    (void)bind(pattern, 64 * kPageSize);
+    Rng rng(4);
+    // One full window: 8 consecutive ascending pages.
+    std::vector<std::uint64_t> pages;
+    for (int i = 0; i < 8; ++i)
+        pages.push_back(page_number(pattern.next(rng).gva));
+    for (int i = 1; i < 8; ++i)
+        EXPECT_EQ(pages[i], pages[i - 1] + 1);
+    EXPECT_EQ(pages[0] % 8, 0u) << "windows are aligned";
+}
+
+TEST(Patterns, PageSweepDeterministicWordPerPage)
+{
+    PageSweepPattern pattern(4, 1, 0.0, /*revisits=*/2);
+    bind(pattern, 4 * kPageSize);  // single window -> revisit same pages
+    Rng rng(5);
+    std::vector<Addr> first_sweep;
+    for (int i = 0; i < 4; ++i)
+        first_sweep.push_back(pattern.next(rng).gva);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(pattern.next(rng).gva, first_sweep[i])
+            << "revisit touches identical words";
+}
+
+TEST(Patterns, ClusteredStaysInsideCluster)
+{
+    ClusteredPattern pattern(64 * 1024, 16, 0.0);
+    Region region = bind(pattern, 1024 * 1024);
+    Rng rng(6);
+    for (int round = 0; round < 50; ++round) {
+        Addr first = pattern.next(rng).gva;
+        Addr cluster_base = (first - region.base) & ~Addr{64 * 1024 - 1};
+        for (int i = 1; i < 16; ++i) {
+            Addr offset = pattern.next(rng).gva - region.base;
+            EXPECT_GE(offset, cluster_base);
+            EXPECT_LT(offset, cluster_base + 64 * 1024);
+        }
+    }
+}
+
+TEST(Synthetic, InitTouchesEveryPageOnceInOrder)
+{
+    SyntheticWorkload w("t", 1);
+    w.add_region(4 * kPageSize);
+    w.add_region(2 * kPageSize);
+    w.add_pattern(0, random_uniform(), 1.0);
+    FakeContext ctx;
+    w.setup(ctx);
+    EXPECT_EQ(ctx.mmaps, 2);
+
+    std::vector<std::uint64_t> pages;
+    while (w.in_init_phase()) {
+        auto op = w.next(ctx);
+        ASSERT_TRUE(op);
+        EXPECT_TRUE(op->write);
+        pages.push_back(page_number(op->gva));
+    }
+    EXPECT_EQ(pages.size(), 6u);
+    std::set<std::uint64_t> unique(pages.begin(), pages.end());
+    EXPECT_EQ(unique.size(), 6u);
+    // Ascending within each region.
+    for (int i = 1; i < 4; ++i)
+        EXPECT_EQ(pages[i], pages[i - 1] + 1);
+}
+
+TEST(Synthetic, TotalOpsBoundsComputePhase)
+{
+    SyntheticWorkload w("t", 1);
+    w.add_region(kPageSize);
+    w.add_pattern(0, sequential(64), 1.0);
+    w.set_total_ops(100);
+    w.set_line_repeats(1);
+    FakeContext ctx;
+    w.setup(ctx);
+    int ops = 0;
+    while (w.next(ctx))
+        ++ops;
+    EXPECT_EQ(ops, 1 + 100) << "init (1 page) + 100 compute ops";
+}
+
+TEST(Synthetic, LineRepeatsStayInLine)
+{
+    SyntheticWorkload w("t", 1);
+    w.add_region(16 * kPageSize);
+    w.add_pattern(0, random_uniform(), 1.0);
+    w.set_line_repeats(4);
+    FakeContext ctx;
+    w.setup(ctx);
+    while (w.in_init_phase())
+        w.next(ctx);
+
+    for (int burst = 0; burst < 100; ++burst) {
+        MemOp first = *w.next(ctx);
+        for (int i = 1; i < 4; ++i) {
+            MemOp repeat = *w.next(ctx);
+            EXPECT_EQ(line_number(repeat.gva), line_number(first.gva));
+        }
+    }
+}
+
+TEST(Synthetic, ChurnAllocatesTouchesAndFrees)
+{
+    SyntheticWorkload w("t", 1);
+    w.set_init_touch(false);
+    w.set_churn({.chunk_bytes = 4 * kPageSize,
+                 .ops_between_churn = 0,
+                 .live_chunks = 2});
+    FakeContext ctx;
+    w.setup(ctx);
+
+    std::map<std::uint64_t, int> touches;
+    for (int i = 0; i < 40; ++i) {
+        auto op = w.next(ctx);
+        ASSERT_TRUE(op);
+        EXPECT_TRUE(op->write);
+        ++touches[page_number(op->gva)];
+    }
+    // 40 ops / 4 pages per chunk = 10 chunks allocated; at most 2 live.
+    EXPECT_EQ(ctx.mmaps, 10);
+    EXPECT_EQ(ctx.munmaps, 8);
+    for (const auto &[page, count] : touches)
+        EXPECT_EQ(count, 1) << "every chunk page touched exactly once";
+}
+
+TEST(Synthetic, DeterministicAcrossInstances)
+{
+    auto make = []() {
+        auto w = std::make_unique<SyntheticWorkload>("t", 77);
+        w->add_region(64 * kPageSize);
+        w->add_pattern(0, page_sweep(8, 2, 0.3), 0.6);
+        w->add_pattern(0, random_uniform(0.1), 0.4);
+        return w;
+    };
+    auto a = make();
+    auto b = make();
+    FakeContext ctx_a;
+    FakeContext ctx_b;
+    a->setup(ctx_a);
+    b->setup(ctx_b);
+    for (int i = 0; i < 5000; ++i) {
+        auto op_a = a->next(ctx_a);
+        auto op_b = b->next(ctx_b);
+        ASSERT_TRUE(op_a && op_b);
+        EXPECT_EQ(op_a->gva, op_b->gva);
+        EXPECT_EQ(op_a->write, op_b->write);
+    }
+}
+
+TEST(Catalog, AllNamesBuildAndReportFootprints)
+{
+    for (const std::string &name : benchmark_names()) {
+        auto w = make_workload(name);
+        EXPECT_EQ(w->name(), name);
+        EXPECT_GT(w->static_footprint(), 0u) << name;
+    }
+    for (const std::string &name : corunner_names()) {
+        auto w = make_workload(name);
+        EXPECT_EQ(w->name(), name);
+    }
+    for (const std::string &name : low_pressure_names()) {
+        auto w = make_workload(name);
+        EXPECT_EQ(w->name(), name);
+        // The defining property of this class: small footprints.
+        EXPECT_LT(w->static_footprint(), 8ull * 1024 * 1024) << name;
+    }
+    auto stress = make_workload("stress-ng");
+    EXPECT_EQ(stress->static_footprint(), 0u) << "pure churn";
+}
+
+TEST(Catalog, ScaleShrinksFootprint)
+{
+    WorkloadOptions half;
+    half.scale = 0.5;
+    auto full = make_workload("pagerank");
+    auto scaled = make_workload("pagerank", half);
+    EXPECT_NEAR(static_cast<double>(scaled->static_footprint()),
+                static_cast<double>(full->static_footprint()) / 2.0,
+                static_cast<double>(kPageSize) * 4);
+}
+
+TEST(Catalog, SeedChangesStream)
+{
+    WorkloadOptions a;
+    a.seed = 1;
+    WorkloadOptions b;
+    b.seed = 2;
+    auto wa = make_workload("mcf", a);
+    auto wb = make_workload("mcf", b);
+    FakeContext ctx_a;
+    FakeContext ctx_b;
+    wa->setup(ctx_a);
+    wb->setup(ctx_b);
+    while (wa->in_init_phase())
+        wa->next(ctx_a);
+    while (wb->in_init_phase())
+        wb->next(ctx_b);
+    int same = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (wa->next(ctx_a)->gva == wb->next(ctx_b)->gva)
+            ++same;
+    }
+    EXPECT_LT(same, 150);
+}
+
+}  // namespace
+}  // namespace ptm::workload
