@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_thp.cpp" "bench/CMakeFiles/ablation_thp.dir/ablation_thp.cpp.o" "gcc" "bench/CMakeFiles/ablation_thp.dir/ablation_thp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ptm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ptm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ptm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ptm_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ptm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ptm_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/ptm_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/ptm_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ptm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ptm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

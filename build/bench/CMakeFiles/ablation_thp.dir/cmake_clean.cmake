@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thp.dir/ablation_thp.cpp.o"
+  "CMakeFiles/ablation_thp.dir/ablation_thp.cpp.o.d"
+  "ablation_thp"
+  "ablation_thp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_translation_caches.dir/ablation_translation_caches.cpp.o"
+  "CMakeFiles/ablation_translation_caches.dir/ablation_translation_caches.cpp.o.d"
+  "ablation_translation_caches"
+  "ablation_translation_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_translation_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_host_pt_fragmentation.dir/fig5_host_pt_fragmentation.cpp.o"
+  "CMakeFiles/fig5_host_pt_fragmentation.dir/fig5_host_pt_fragmentation.cpp.o.d"
+  "fig5_host_pt_fragmentation"
+  "fig5_host_pt_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_host_pt_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_host_pt_fragmentation.
+# This may be replaced when dependencies are built.

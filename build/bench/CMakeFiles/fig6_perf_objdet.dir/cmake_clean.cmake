@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_perf_objdet.dir/fig6_perf_objdet.cpp.o"
+  "CMakeFiles/fig6_perf_objdet.dir/fig6_perf_objdet.cpp.o.d"
+  "fig6_perf_objdet"
+  "fig6_perf_objdet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_perf_objdet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_perf_combo.dir/fig7_perf_combo.cpp.o"
+  "CMakeFiles/fig7_perf_combo.dir/fig7_perf_combo.cpp.o.d"
+  "fig7_perf_combo"
+  "fig7_perf_combo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_perf_combo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec61_low_tlb_pressure.dir/sec61_low_tlb_pressure.cpp.o"
+  "CMakeFiles/sec61_low_tlb_pressure.dir/sec61_low_tlb_pressure.cpp.o.d"
+  "sec61_low_tlb_pressure"
+  "sec61_low_tlb_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec61_low_tlb_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

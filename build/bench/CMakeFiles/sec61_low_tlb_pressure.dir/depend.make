@@ -1,0 +1,2 @@
+# Empty dependencies file for sec61_low_tlb_pressure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_reservation_occupancy.dir/sec62_reservation_occupancy.cpp.o"
+  "CMakeFiles/sec62_reservation_occupancy.dir/sec62_reservation_occupancy.cpp.o.d"
+  "sec62_reservation_occupancy"
+  "sec62_reservation_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_reservation_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_alloc_latency.dir/sec64_alloc_latency.cpp.o"
+  "CMakeFiles/sec64_alloc_latency.dir/sec64_alloc_latency.cpp.o.d"
+  "sec64_alloc_latency"
+  "sec64_alloc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_alloc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

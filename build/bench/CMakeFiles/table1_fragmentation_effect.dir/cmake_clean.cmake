@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fragmentation_effect.dir/table1_fragmentation_effect.cpp.o"
+  "CMakeFiles/table1_fragmentation_effect.dir/table1_fragmentation_effect.cpp.o.d"
+  "table1_fragmentation_effect"
+  "table1_fragmentation_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fragmentation_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pagerank_metrics.dir/table4_pagerank_metrics.cpp.o"
+  "CMakeFiles/table4_pagerank_metrics.dir/table4_pagerank_metrics.cpp.o.d"
+  "table4_pagerank_metrics"
+  "table4_pagerank_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pagerank_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocated_vm.dir/colocated_vm.cpp.o"
+  "CMakeFiles/colocated_vm.dir/colocated_vm.cpp.o.d"
+  "colocated_vm"
+  "colocated_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocated_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservation_inspector.dir/reservation_inspector.cpp.o"
+  "CMakeFiles/reservation_inspector.dir/reservation_inspector.cpp.o.d"
+  "reservation_inspector"
+  "reservation_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservation_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_trajectory.dir/walk_trajectory.cpp.o"
+  "CMakeFiles/walk_trajectory.dir/walk_trajectory.cpp.o.d"
+  "walk_trajectory"
+  "walk_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

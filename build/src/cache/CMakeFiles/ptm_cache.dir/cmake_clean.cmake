@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_cache.dir/cache.cpp.o"
+  "CMakeFiles/ptm_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/ptm_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/ptm_cache.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/ptm_cache.dir/replacement.cpp.o"
+  "CMakeFiles/ptm_cache.dir/replacement.cpp.o.d"
+  "libptm_cache.a"
+  "libptm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

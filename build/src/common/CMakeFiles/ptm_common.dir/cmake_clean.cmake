@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_common.dir/log.cpp.o"
+  "CMakeFiles/ptm_common.dir/log.cpp.o.d"
+  "CMakeFiles/ptm_common.dir/stats.cpp.o"
+  "CMakeFiles/ptm_common.dir/stats.cpp.o.d"
+  "libptm_common.a"
+  "libptm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_core.dir/part.cpp.o"
+  "CMakeFiles/ptm_core.dir/part.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/ptemagnet_provider.cpp.o"
+  "CMakeFiles/ptm_core.dir/ptemagnet_provider.cpp.o.d"
+  "libptm_core.a"
+  "libptm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/host_kernel.cpp" "src/host/CMakeFiles/ptm_host.dir/host_kernel.cpp.o" "gcc" "src/host/CMakeFiles/ptm_host.dir/host_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ptm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/ptm_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ptm_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ptm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/ptm_tlb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_host.dir/host_kernel.cpp.o"
+  "CMakeFiles/ptm_host.dir/host_kernel.cpp.o.d"
+  "libptm_host.a"
+  "libptm_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_mem.dir/buddy_allocator.cpp.o"
+  "CMakeFiles/ptm_mem.dir/buddy_allocator.cpp.o.d"
+  "CMakeFiles/ptm_mem.dir/physical_memory.cpp.o"
+  "CMakeFiles/ptm_mem.dir/physical_memory.cpp.o.d"
+  "libptm_mem.a"
+  "libptm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

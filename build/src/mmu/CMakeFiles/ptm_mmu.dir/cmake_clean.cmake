@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_mmu.dir/nested_walker.cpp.o"
+  "CMakeFiles/ptm_mmu.dir/nested_walker.cpp.o.d"
+  "libptm_mmu.a"
+  "libptm_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/page_table.cpp" "src/pt/CMakeFiles/ptm_pt.dir/page_table.cpp.o" "gcc" "src/pt/CMakeFiles/ptm_pt.dir/page_table.cpp.o.d"
+  "/root/repo/src/pt/pte.cpp" "src/pt/CMakeFiles/ptm_pt.dir/pte.cpp.o" "gcc" "src/pt/CMakeFiles/ptm_pt.dir/pte.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ptm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

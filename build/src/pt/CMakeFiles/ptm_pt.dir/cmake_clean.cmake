@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_pt.dir/page_table.cpp.o"
+  "CMakeFiles/ptm_pt.dir/page_table.cpp.o.d"
+  "CMakeFiles/ptm_pt.dir/pte.cpp.o"
+  "CMakeFiles/ptm_pt.dir/pte.cpp.o.d"
+  "libptm_pt.a"
+  "libptm_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_tlb.dir/tlb.cpp.o"
+  "CMakeFiles/ptm_tlb.dir/tlb.cpp.o.d"
+  "libptm_tlb.a"
+  "libptm_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

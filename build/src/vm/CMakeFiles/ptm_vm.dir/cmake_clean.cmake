@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_vm.dir/guest_kernel.cpp.o"
+  "CMakeFiles/ptm_vm.dir/guest_kernel.cpp.o.d"
+  "CMakeFiles/ptm_vm.dir/huge_page_provider.cpp.o"
+  "CMakeFiles/ptm_vm.dir/huge_page_provider.cpp.o.d"
+  "CMakeFiles/ptm_vm.dir/page_provider.cpp.o"
+  "CMakeFiles/ptm_vm.dir/page_provider.cpp.o.d"
+  "CMakeFiles/ptm_vm.dir/process.cpp.o"
+  "CMakeFiles/ptm_vm.dir/process.cpp.o.d"
+  "CMakeFiles/ptm_vm.dir/virtual_address_space.cpp.o"
+  "CMakeFiles/ptm_vm.dir/virtual_address_space.cpp.o.d"
+  "libptm_vm.a"
+  "libptm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_workload.dir/catalog.cpp.o"
+  "CMakeFiles/ptm_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/ptm_workload.dir/patterns.cpp.o"
+  "CMakeFiles/ptm_workload.dir/patterns.cpp.o.d"
+  "CMakeFiles/ptm_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/ptm_workload.dir/synthetic.cpp.o.d"
+  "libptm_workload.a"
+  "libptm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/part_test.dir/part_test.cpp.o"
+  "CMakeFiles/part_test.dir/part_test.cpp.o.d"
+  "part_test"
+  "part_test.pdb"
+  "part_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/part_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptemagnet_test.dir/ptemagnet_test.cpp.o"
+  "CMakeFiles/ptemagnet_test.dir/ptemagnet_test.cpp.o.d"
+  "ptemagnet_test"
+  "ptemagnet_test.pdb"
+  "ptemagnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptemagnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
