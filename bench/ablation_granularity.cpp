@@ -9,35 +9,41 @@
  */
 #include <cstdio>
 
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 
 int
 main()
 {
     using namespace ptm::sim;
 
+    ScenarioConfig base = ScenarioConfig{}
+                              .with_victim("pagerank")
+                              .with_corunner_preset("objdet8")
+                              .with_scale(0.5)
+                              .with_measure_ops(400'000);
+
+    ExperimentSuite suite("ablation_granularity");
+    suite.add("baseline", base, RunKind::Single);
+    suite.sweep("pagerank", "reservation_pages", {2, 4, 8, 16, 32},
+                ScenarioConfig(base).with_ptemagnet(), RunKind::Single);
+    SuiteResult result = suite.run();
+
     std::printf("Ablation: reservation granularity (pagerank + objdet)\n");
     std::printf("%-12s %12s %14s %18s\n", "group pages", "frag",
                 "improvement", "peak unused/RSS");
 
-    ScenarioConfig config;
-    config.victim = "pagerank";
-    config.corunners = {{"objdet", 8}};
-    config.scale = 0.5;
-    config.measure_ops = 400'000;
-
-    ScenarioResult baseline = run_scenario(config);
-
-    for (unsigned pages : {2u, 4u, 8u, 16u, 32u}) {
-        config.use_ptemagnet = true;
-        config.reservation_pages = pages;
-        ScenarioResult result = run_scenario(config);
-        double base = static_cast<double>(baseline.victim_cycles);
-        double ptm = static_cast<double>(result.victim_cycles);
-        std::printf("%-12u %12.2f %+13.1f%% %17.3f%%\n", pages,
-                    result.fragmentation.average_hpte_lines,
-                    100.0 * (base - ptm) / base,
-                    100.0 * result.peak_unused_reservation_fraction);
+    const ScenarioResult &baseline = result.at("baseline").single;
+    double base_cycles = static_cast<double>(baseline.victim_cycles);
+    for (const EntryResult &entry : result.entries()) {
+        if (entry.entry.sweep_param.empty())
+            continue;
+        const ScenarioResult &run = entry.single;
+        double ptm_cycles = static_cast<double>(run.victim_cycles);
+        std::printf("%-12u %12.2f %+13.1f%% %17.3f%%\n",
+                    static_cast<unsigned>(entry.entry.sweep_value),
+                    run.fragmentation.average_hpte_lines,
+                    100.0 * (base_cycles - ptm_cycles) / base_cycles,
+                    100.0 * run.peak_unused_reservation_fraction);
     }
 
     std::printf("\n(default kernel fragmentation: %.2f; the paper's "

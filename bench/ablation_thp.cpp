@@ -17,24 +17,20 @@
 #include <memory>
 
 #include "core/ptemagnet_provider.hpp"
-#include "sim/metrics.hpp"
-#include "sim/system.hpp"
+#include "sim/suite.hpp"
 #include "vm/huge_page_provider.hpp"
-#include "workload/catalog.hpp"
 
 namespace {
 
 using namespace ptm;
 
-enum class Policy { Default, Ptemagnet, ThpLike };
-
 const char *
-policy_name(Policy policy)
+policy_label(sim::PagePolicy policy)
 {
     switch (policy) {
-      case Policy::Default: return "default buddy";
-      case Policy::Ptemagnet: return "PTEMagnet";
-      case Policy::ThpLike: return "THP-like eager";
+      case sim::PagePolicy::Buddy: return "default buddy";
+      case sim::PagePolicy::Ptemagnet: return "PTEMagnet";
+      case sim::PagePolicy::ThpLike: return "THP-like eager";
     }
     return "?";
 }
@@ -42,65 +38,65 @@ policy_name(Policy policy)
 void
 dense_experiment()
 {
+    using namespace ptm::sim;
+
+    const PagePolicy policies[] = {PagePolicy::Buddy,
+                                   PagePolicy::Ptemagnet,
+                                   PagePolicy::ThpLike};
+
+    ExperimentSuite suite("ablation_thp");
+    for (PagePolicy policy : policies) {
+        suite.add(policy_label(policy),
+                  ScenarioConfig{}
+                      .with_victim("pagerank")
+                      .with_corunner_preset("objdet8")
+                      .with_policy(policy)
+                      .with_scale(0.5)
+                      .with_measure_ops(300'000)
+                      .with_warmup_ops(0),
+                  RunKind::Single);
+    }
+    SuiteResult result = suite.run();
+
     std::printf("Dense workload (pagerank + 8x objdet), 300k measured "
                 "ops:\n");
     std::printf("%-16s %8s %14s %16s\n", "policy", "frag", "cycles/op",
                 "victim rss pages");
-
-    for (Policy policy :
-         {Policy::Default, Policy::Ptemagnet, Policy::ThpLike}) {
-        sim::PlatformConfig platform;
-        sim::System system(platform, 9);
-        if (policy == Policy::Ptemagnet) {
-            system.enable_ptemagnet();
-        } else if (policy == Policy::ThpLike) {
-            system.guest().set_provider(
-                std::make_unique<vm::HugePageProvider>(&system.guest()));
-        }
-        workload::WorkloadOptions options;
-        options.scale = 0.5;
-        sim::Job &victim =
-            system.add_job(workload::make_workload("pagerank", options));
-        for (unsigned worker = 0; worker < 8; ++worker) {
-            workload::WorkloadOptions co = options;
-            co.seed = 1001 + worker;
-            system.add_job(workload::make_workload("objdet", co));
-        }
-        system.run_until_init_done(victim);
-        system.reset_measurement();
-        system.run_ops(victim, 300'000);
-
-        double frag = sim::host_pt_fragmentation(victim.process(),
-                                                 system.vm())
-                          .average_hpte_lines;
-        double cpo =
-            static_cast<double>(victim.counters().cycles.value()) /
-            static_cast<double>(victim.counters().ops.value());
-        std::printf("%-16s %8.2f %14.1f %16llu\n", policy_name(policy),
-                    frag, cpo,
-                    static_cast<unsigned long long>(
-                        victim.process().rss_pages()));
+    for (const EntryResult &entry : result.entries()) {
+        const ScenarioResult &run = entry.single;
+        double cpo = static_cast<double>(run.victim_cycles) /
+                     static_cast<double>(run.victim_ops);
+        std::printf("%-16s %8.2f %14.1f %16llu\n",
+                    entry.entry.name.c_str(),
+                    run.fragmentation.average_hpte_lines, cpo,
+                    static_cast<unsigned long long>(run.victim_rss_pages));
     }
 }
 
+/**
+ * Not a scenario: drives a bare GuestKernel to count frames consumed for
+ * a sparse mapping under each provider, outside any measurement loop.
+ */
 void
 sparse_experiment()
 {
+    using sim::PagePolicy;
+
     std::printf("\nSparse application: 32 MiB mapping, every 16th page "
                 "touched:\n");
     std::printf("%-16s %14s %18s %22s\n", "policy", "touched",
                 "frames consumed", "overhead vs touched");
 
-    for (Policy policy :
-         {Policy::Default, Policy::Ptemagnet, Policy::ThpLike}) {
+    for (PagePolicy policy : {PagePolicy::Buddy, PagePolicy::Ptemagnet,
+                              PagePolicy::ThpLike}) {
         vm::GuestKernel guest(64 * 1024);
         core::PtemagnetProvider *magnet = nullptr;
-        if (policy == Policy::Ptemagnet) {
+        if (policy == PagePolicy::Ptemagnet) {
             auto provider =
                 std::make_unique<core::PtemagnetProvider>(&guest);
             magnet = provider.get();
             guest.set_provider(std::move(provider));
-        } else if (policy == Policy::ThpLike) {
+        } else if (policy == PagePolicy::ThpLike) {
             guest.set_provider(
                 std::make_unique<vm::HugePageProvider>(&guest));
         }
@@ -116,7 +112,7 @@ sparse_experiment()
 
         std::uint64_t consumed =
             guest.buddy().allocated_frames_count();
-        std::printf("%-16s %14llu %18llu %21.1fx\n", policy_name(policy),
+        std::printf("%-16s %14llu %18llu %21.1fx\n", policy_label(policy),
                     static_cast<unsigned long long>(touched),
                     static_cast<unsigned long long>(consumed),
                     static_cast<double>(consumed) /

@@ -8,17 +8,12 @@
  */
 #include <cstdio>
 
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 
 int
 main()
 {
     using namespace ptm::sim;
-
-    std::printf("Ablation: translation-cache structures "
-                "(pagerank + objdet)\n");
-    std::printf("%-28s %14s %14s %13s\n", "configuration", "base walkcyc",
-                "ptm walkcyc", "improvement");
 
     struct Variant {
         const char *name;
@@ -32,22 +27,30 @@ main()
         {"neither", false, false},
     };
 
+    ExperimentSuite suite("ablation_translation_caches");
     for (const Variant &variant : variants) {
-        ScenarioConfig config;
-        config.victim = "pagerank";
-        config.corunners = {{"objdet", 8}};
-        config.scale = 0.5;
-        config.measure_ops = 400'000;
+        ScenarioConfig config = ScenarioConfig{}
+                                    .with_victim("pagerank")
+                                    .with_corunner_preset("objdet8")
+                                    .with_scale(0.5)
+                                    .with_measure_ops(400'000);
         config.platform.tlb.pwc_enabled = variant.pwc;
         config.platform.tlb.nested_tlb_enabled = variant.nested;
+        suite.add(variant.name, config);
+    }
+    SuiteResult result = suite.run();
 
-        PairedResult pair = run_paired(config);
-        double base_walk =
-            pair.baseline.metrics.get("page_walk_cycles");
-        double ptm_walk =
-            pair.ptemagnet.metrics.get("page_walk_cycles");
-        std::printf("%-28s %14.0f %14.0f %+12.1f%%\n", variant.name,
-                    base_walk, ptm_walk, pair.improvement_percent());
+    std::printf("Ablation: translation-cache structures "
+                "(pagerank + objdet)\n");
+    std::printf("%-28s %14s %14s %13s\n", "configuration", "base walkcyc",
+                "ptm walkcyc", "improvement");
+    for (const EntryResult &entry : result.entries()) {
+        const PairedResult &pair = entry.paired;
+        std::printf("%-28s %14.0f %14.0f %+12.1f%%\n",
+                    entry.entry.name.c_str(),
+                    pair.baseline.metrics.get("page_walk_cycles"),
+                    pair.ptemagnet.metrics.get("page_walk_cycles"),
+                    pair.improvement_percent());
     }
 
     std::printf("\nPTEMagnet keeps helping in every configuration: the "

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tier-1 smoke test for the experiment driver: one tiny paired scenario
+ * plus a two-point sweep through ExperimentSuite on ≥4 worker threads,
+ * exercising the whole bench path — registration, parallel execution,
+ * text report, JSON sink — in a few seconds. Registered as a ctest
+ * (`bench_smoke`) so a broken driver fails the tier-1 run, not just the
+ * (slow) full bench tier.
+ *
+ * Exits nonzero on any violated invariant.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/suite.hpp"
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "bench_smoke: FAIL: %s\n", what);
+        ++failures;
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace ptm::sim;
+
+    ScenarioConfig tiny = ScenarioConfig{}
+                              .with_victim("pagerank")
+                              .with_corunner("objdet", 2)
+                              .with_scale(0.05)
+                              .with_measure_ops(20'000)
+                              .with_warmup_ops(5'000);
+    tiny.platform.guest_frames = 16 * 1024;
+    tiny.platform.host_frames = 24 * 1024;
+
+    ExperimentSuite suite("smoke");
+    suite.add("pagerank_tiny", tiny);
+    suite.sweep("pagerank_tiny", "reservation_pages", {4, 8},
+                ScenarioConfig(tiny).with_ptemagnet(), RunKind::Single);
+
+    SuiteOptions options;
+    options.threads = 4;
+    options.json_dir = ".";
+    SuiteResult result = suite.run(options);
+
+    check(result.threads() == 4, "suite ran on 4 threads");
+    check(result.entries().size() == 3, "3 scenarios executed");
+    check(result.has("pagerank_tiny"), "paired entry present");
+
+    const EntryResult &paired = result.at("pagerank_tiny");
+    check(paired.paired.baseline.victim_ops >= 20'000,
+          "baseline measured the requested ops");
+    check(paired.paired.ptemagnet.fragmentation.average_hpte_lines <=
+              paired.paired.baseline.fragmentation.average_hpte_lines,
+          "PTEMagnet does not increase fragmentation");
+
+    const EntryResult &swept =
+        result.at("pagerank_tiny/reservation_pages=8");
+    check(swept.single.reservations_created > 0,
+          "sweep leg ran under PTEMagnet");
+
+    // The JSON sink must round-trip the whole result set.
+    std::string path = "BENCH_smoke.json";
+    Json reread;
+    {
+        FILE *f = std::fopen(path.c_str(), "rb");
+        check(f != nullptr, "BENCH_smoke.json written");
+        if (f != nullptr) {
+            std::string text;
+            char buf[4096];
+            std::size_t n;
+            while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+                text.append(buf, n);
+            std::fclose(f);
+            reread = Json::parse(text);
+        }
+    }
+    if (reread.is_object()) {
+        check(reread.at("suite").as_string() == "smoke",
+              "JSON names the suite");
+        check(reread.at("entries").as_array().size() == 3,
+              "JSON carries every entry");
+        ScenarioResult baseline = scenario_result_from_json(
+            reread.at("entries").as_array()[0].at("baseline"));
+        check(baseline.victim_cycles ==
+                  paired.paired.baseline.victim_cycles,
+              "JSON round-trips victim_cycles");
+    }
+    std::remove(path.c_str());
+
+    if (failures == 0)
+        std::printf("bench_smoke: OK (3 scenarios, 4 threads, JSON "
+                    "round-trip)\n");
+    return failures == 0 ? 0 : 1;
+}

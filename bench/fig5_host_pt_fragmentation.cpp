@@ -7,7 +7,7 @@
  */
 #include <cstdio>
 
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 #include "workload/catalog.hpp"
 
 int
@@ -15,21 +15,24 @@ main()
 {
     using namespace ptm::sim;
 
+    ExperimentSuite suite("fig5_host_pt_fragmentation");
+    for (const std::string &name : ptm::workload::benchmark_names()) {
+        suite.add(name, ScenarioConfig{}
+                            .with_victim(name)
+                            .with_corunner_preset("objdet8")
+                            .with_scale(0.5)
+                            .with_measure_ops(300'000));
+    }
+    SuiteResult result = suite.run();
+
     std::printf("Figure 5: host PT fragmentation in colocation with "
                 "objdet (lower is better)\n");
     std::printf("%-10s %12s %12s\n", "benchmark", "default", "ptemagnet");
-
-    for (const std::string &name : ptm::workload::benchmark_names()) {
-        ScenarioConfig config;
-        config.victim = name;
-        config.corunners = {{"objdet", 8}};
-        config.scale = 0.5;
-        config.measure_ops = 300'000;
-
-        PairedResult pair = run_paired(config);
-        std::printf("%-10s %12.2f %12.2f\n", name.c_str(),
-                    pair.baseline.fragmentation.average_hpte_lines,
-                    pair.ptemagnet.fragmentation.average_hpte_lines);
+    for (const EntryResult &entry : result.entries()) {
+        std::printf("%-10s %12.2f %12.2f\n", entry.entry.name.c_str(),
+                    entry.paired.baseline.fragmentation.average_hpte_lines,
+                    entry.paired.ptemagnet.fragmentation
+                        .average_hpte_lines);
     }
     std::printf("\npaper reference: PTEMagnet reduces fragmentation to "
                 "~1 for all benchmarks\n(e.g. pagerank 3.4 -> 1.2, "

@@ -8,9 +8,8 @@
  * Paper: +4% on average, up to +9% (xz); no benchmark ever slows down.
  */
 #include <cstdio>
-#include <vector>
 
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 #include "workload/catalog.hpp"
 
 int
@@ -18,32 +17,19 @@ main()
 {
     using namespace ptm::sim;
 
+    ExperimentSuite suite("fig6_perf_objdet");
+    for (const std::string &name : ptm::workload::benchmark_names()) {
+        suite.add(name, ScenarioConfig{}
+                            .with_victim(name)
+                            .with_corunner_preset("objdet8")
+                            .with_scale(0.5)
+                            .with_measure_ops(600'000));
+    }
+    SuiteResult result = suite.run();
+
     std::printf("Figure 6: performance improvement under colocation with "
                 "objdet\n");
-    std::printf("%-10s %14s %14s %13s\n", "benchmark", "base cycles",
-                "ptm cycles", "improvement");
-
-    std::vector<double> improvements;
-    for (const std::string &name : ptm::workload::benchmark_names()) {
-        ScenarioConfig config;
-        config.victim = name;
-        config.corunners = {{"objdet", 8}};
-        config.scale = 0.5;
-        config.measure_ops = 600'000;
-
-        PairedResult pair = run_paired(config);
-        double improvement = pair.improvement_percent();
-        improvements.push_back(improvement);
-        std::printf("%-10s %14llu %14llu %+12.1f%%\n", name.c_str(),
-                    static_cast<unsigned long long>(
-                        pair.baseline.victim_cycles),
-                    static_cast<unsigned long long>(
-                        pair.ptemagnet.victim_cycles),
-                    improvement);
-    }
-
-    std::printf("%-10s %14s %14s %+12.1f%%\n", "Geomean", "", "",
-                geomean_improvement(improvements));
+    print_improvement_table(result);
     std::printf("\npaper reference: 4%% average, 9%% max (xz), never "
                 "negative.\n");
     return 0;

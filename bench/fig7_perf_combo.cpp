@@ -9,9 +9,8 @@
  * Paper: +3% on average, up to +5% (mcf); never negative.
  */
 #include <cstdio>
-#include <vector>
 
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 #include "workload/catalog.hpp"
 
 int
@@ -19,35 +18,19 @@ main()
 {
     using namespace ptm::sim;
 
+    ExperimentSuite suite("fig7_perf_combo");
+    for (const std::string &name : ptm::workload::benchmark_names()) {
+        suite.add(name, ScenarioConfig{}
+                            .with_victim(name)
+                            .with_corunner_preset("combo")
+                            .with_scale(0.5)
+                            .with_measure_ops(600'000));
+    }
+    SuiteResult result = suite.run();
+
     std::printf("Figure 7: performance improvement under colocation with "
                 "a combination of co-runners\n");
-    std::printf("%-10s %14s %14s %13s\n", "benchmark", "base cycles",
-                "ptm cycles", "improvement");
-
-    std::vector<double> improvements;
-    for (const std::string &name : ptm::workload::benchmark_names()) {
-        ScenarioConfig config;
-        config.victim = name;
-        config.corunners = {{"objdet", 2},      {"chameleon", 1},
-                            {"pyaes", 1},       {"json_serdes", 1},
-                            {"rnn_serving", 1}, {"gcc", 1},
-                            {"xz", 1}};
-        config.scale = 0.5;
-        config.measure_ops = 600'000;
-
-        PairedResult pair = run_paired(config);
-        double improvement = pair.improvement_percent();
-        improvements.push_back(improvement);
-        std::printf("%-10s %14llu %14llu %+12.1f%%\n", name.c_str(),
-                    static_cast<unsigned long long>(
-                        pair.baseline.victim_cycles),
-                    static_cast<unsigned long long>(
-                        pair.ptemagnet.victim_cycles),
-                    improvement);
-    }
-
-    std::printf("%-10s %14s %14s %+12.1f%%\n", "Geomean", "", "",
-                geomean_improvement(improvements));
+    print_improvement_table(result);
     std::printf("\npaper reference: 3%% average, 5%% max (mcf), never "
                 "negative.\n");
     return 0;

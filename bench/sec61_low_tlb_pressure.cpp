@@ -7,9 +7,8 @@
  * enabled unconditionally.
  */
 #include <cstdio>
-#include <vector>
 
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 #include "workload/catalog.hpp"
 
 int
@@ -17,33 +16,23 @@ main()
 {
     using namespace ptm::sim;
 
+    ExperimentSuite suite("sec61_low_tlb_pressure");
+    for (const std::string &name : ptm::workload::low_pressure_names()) {
+        suite.add(name, ScenarioConfig{}
+                            .with_victim(name)
+                            .with_corunner_preset("objdet8")
+                            .with_scale(0.5)
+                            .with_measure_ops(400'000));
+    }
+    SuiteResult result = suite.run();
+
     std::printf("Section 6.1: low-TLB-pressure SPEC'17 Int class under "
                 "colocation with objdet\n");
-    std::printf("%-12s %14s %14s %13s\n", "benchmark", "base cycles",
-                "ptm cycles", "improvement");
+    print_improvement_table(result, /*name_width=*/12);
 
     bool any_regression = false;
-    std::vector<double> improvements;
-    for (const std::string &name : ptm::workload::low_pressure_names()) {
-        ScenarioConfig config;
-        config.victim = name;
-        config.corunners = {{"objdet", 8}};
-        config.scale = 0.5;
-        config.measure_ops = 400'000;
-
-        PairedResult pair = run_paired(config);
-        double improvement = pair.improvement_percent();
-        improvements.push_back(improvement);
+    for (double improvement : result.improvements())
         any_regression |= improvement < -0.25;
-        std::printf("%-12s %14llu %14llu %+12.2f%%\n", name.c_str(),
-                    static_cast<unsigned long long>(
-                        pair.baseline.victim_cycles),
-                    static_cast<unsigned long long>(
-                        pair.ptemagnet.victim_cycles),
-                    improvement);
-    }
-    std::printf("%-12s %14s %14s %+12.2f%%\n", "Geomean", "", "",
-                geomean_improvement(improvements));
     std::printf("\n%s\n",
                 any_regression
                     ? "REGRESSION DETECTED — violates the paper's claim!"

@@ -11,7 +11,7 @@
  */
 #include <cstdio>
 
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 #include "workload/catalog.hpp"
 
 int
@@ -19,25 +19,31 @@ main()
 {
     using namespace ptm::sim;
 
+    ExperimentSuite suite("sec62_reservation_occupancy");
+    for (const std::string &name : ptm::workload::benchmark_names()) {
+        suite.add(name,
+                  ScenarioConfig{}
+                      .with_victim(name)
+                      .with_corunner_preset("objdet8")
+                      .with_ptemagnet()
+                      .with_scale(0.5)
+                      .with_measure_ops(400'000),
+                  RunKind::Single);
+    }
+    SuiteResult result = suite.run();
+
     std::printf("Section 6.2: peak reserved-but-unmapped pages within "
                 "reservations\n");
     std::printf("%-10s %18s %16s %12s\n", "benchmark", "peak unused/RSS",
                 "reservations", "PaRT hits");
-
-    for (const std::string &name : ptm::workload::benchmark_names()) {
-        ScenarioConfig config;
-        config.victim = name;
-        config.corunners = {{"objdet", 8}};
-        config.use_ptemagnet = true;
-        config.scale = 0.5;
-        config.measure_ops = 400'000;
-
-        ScenarioResult result = run_scenario(config);
-        std::printf("%-10s %17.3f%% %16llu %12llu\n", name.c_str(),
-                    100.0 * result.peak_unused_reservation_fraction,
+    for (const EntryResult &entry : result.entries()) {
+        const ScenarioResult &run = entry.single;
+        std::printf("%-10s %17.3f%% %16llu %12llu\n",
+                    entry.entry.name.c_str(),
+                    100.0 * run.peak_unused_reservation_fraction,
                     static_cast<unsigned long long>(
-                        result.reservations_created),
-                    static_cast<unsigned long long>(result.part_hits));
+                        run.reservations_created),
+                    static_cast<unsigned long long>(run.part_hits));
     }
 
     std::printf("\npaper reference: peak never exceeds 0.2%% of the "

@@ -19,7 +19,7 @@
 
 #include "core/part.hpp"
 #include "mem/buddy_allocator.hpp"
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 
 namespace {
 
@@ -99,13 +99,17 @@ void
 run_alloc_sweep()
 {
     using namespace ptm::sim;
-    ScenarioConfig config;
-    config.victim = "alloc_sweep";
-    config.scale = 0.5;           // ~96 MiB array (paper: 60 GB)
-    config.measure_ops = 10;      // the init sweep is the whole workload
-    config.measure_init = true;
 
-    PairedResult pair = run_paired(config);
+    ExperimentSuite suite("sec64_alloc_latency");
+    suite.add("alloc_sweep",
+              ScenarioConfig{}
+                  .with_victim("alloc_sweep")
+                  .with_corunners({})
+                  .with_scale(0.5)      // ~96 MiB array (paper: 60 GB)
+                  .with_measure_ops(10) // the init sweep is the workload
+                  .with_measure_init());
+    SuiteResult result = suite.run();
+    const PairedResult &pair = result.at("alloc_sweep").paired;
     double base = static_cast<double>(pair.baseline.victim_cycles);
     double ptm = static_cast<double>(pair.ptemagnet.victim_cycles);
     std::printf("\nSection 6.4: allocation-latency macro benchmark "

@@ -15,31 +15,35 @@
  */
 #include <cstdio>
 
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 
 int
 main()
 {
     using namespace ptm::sim;
 
-    ScenarioConfig config;
-    config.victim = "pagerank";
-    config.scale = 0.5;
-    config.measure_ops = 600'000;
-    config.stop_corunners_after_init = true;
+    ScenarioConfig base = ScenarioConfig{}
+                              .with_victim("pagerank")
+                              .with_scale(0.5)
+                              .with_measure_ops(600'000)
+                              .with_stop_corunners_after_init();
+
+    ExperimentSuite suite("table1_fragmentation_effect");
+    // Standalone: pagerank has the allocator to itself.
+    suite.add("standalone", base, RunKind::Single);
+    // Colocation: 12 stress-ng workers churn memory during allocation.
+    suite.add("colocated",
+              ScenarioConfig(base).with_corunner_preset("stressng12"),
+              RunKind::Single);
+    SuiteResult result = suite.run();
+
+    const ScenarioResult &standalone = result.at("standalone").single;
+    const ScenarioResult &colocated = result.at("colocated").single;
 
     std::printf("Table 1: pagerank colocated with stress-ng (12 workers) "
                 "vs standalone\n");
     std::printf("(co-runner stopped after pagerank's allocation phase; "
                 "default kernel in both runs)\n\n");
-
-    // Standalone: pagerank has the allocator to itself.
-    config.corunners = {};
-    ScenarioResult standalone = run_scenario(config);
-
-    // Colocation: 12 stress-ng workers churn memory during allocation.
-    config.corunners = {{"stress-ng", 12}};
-    ScenarioResult colocated = run_scenario(config);
 
     print_change_table(standalone.metrics, colocated.metrics,
                        "metric changes caused by fragmentation "

@@ -10,23 +10,25 @@
  */
 #include <cstdio>
 
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 
 int
 main()
 {
     using namespace ptm::sim;
 
-    ScenarioConfig config;
-    config.victim = "pagerank";
-    config.corunners = {{"objdet", 8}};
-    config.scale = 0.5;
-    config.measure_ops = 600'000;
+    ExperimentSuite suite("table4_pagerank_metrics");
+    suite.add("pagerank", ScenarioConfig{}
+                              .with_victim("pagerank")
+                              .with_corunner_preset("objdet8")
+                              .with_scale(0.5)
+                              .with_measure_ops(600'000));
+    SuiteResult result = suite.run();
+    const PairedResult &pair = result.at("pagerank").paired;
 
     std::printf("Table 4: pagerank + objdet, PTEMagnet vs default "
                 "kernel (co-runner active throughout)\n\n");
 
-    PairedResult pair = run_paired(config);
     print_change_table(pair.baseline.metrics, pair.ptemagnet.metrics,
                        "metric changes delivered by PTEMagnet:");
 

@@ -2,30 +2,35 @@
  * @file
  * General-purpose scenario runner: compose any victim/co-runner
  * colocation from the command line and get the paper's metric set for
- * the default kernel vs PTEMagnet. This is the "drive the library
- * yourself" entry point for experiments the benches don't cover.
+ * the default kernel vs PTEMagnet, plus a machine-readable
+ * BENCH_run_experiment.json. This is the "drive the library yourself"
+ * entry point for experiments the benches don't cover.
  *
  * Usage:
  *   run_experiment [options]
  *     --victim NAME         benchmark to measure      (default pagerank)
  *     --co NAME[xCOUNT]     add a co-runner; repeatable (default objdetx8)
+ *     --preset NAME         use a named co-runner preset (none, objdet8,
+ *                           combo, stressng12)
  *     --scale F             footprint multiplier       (default 0.5)
  *     --ops N               measured victim operations (default 400000)
  *     --seed N              scenario seed              (default 1)
  *     --group-pages N       reservation granularity    (default 8)
+ *     --threads N           suite worker threads       (default: cores)
  *     --stop-after-init     pause co-runners before measuring (Table 1)
  *
  * Example:
  *   ./build/examples/run_experiment --victim xz --co stress-ngx12 \
  *       --scale 0.25 --ops 200000
  */
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hpp"
+#include "sim/suite.hpp"
 
 namespace {
 
@@ -34,9 +39,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--victim NAME] [--co NAME[xCOUNT]]... "
-                 "[--scale F] [--ops N]\n"
-                 "          [--seed N] [--group-pages N] "
-                 "[--stop-after-init]\n",
+                 "[--preset NAME] [--scale F]\n"
+                 "          [--ops N] [--seed N] [--group-pages N] "
+                 "[--threads N] [--stop-after-init]\n",
                  argv0);
     std::exit(1);
 }
@@ -60,10 +65,9 @@ main(int argc, char **argv)
 {
     using namespace ptm::sim;
 
-    ScenarioConfig config;
-    config.victim = "pagerank";
-    config.scale = 0.5;
-    config.measure_ops = 400'000;
+    ScenarioConfig config =
+        ScenarioConfig{}.with_scale(0.5).with_measure_ops(400'000);
+    SuiteOptions options;
     bool co_given = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -74,27 +78,33 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--victim") {
-            config.victim = next();
+            config.with_victim(next());
         } else if (arg == "--co") {
             config.corunners.push_back(parse_corunner(next()));
             co_given = true;
+        } else if (arg == "--preset") {
+            config.with_corunner_preset(next());
+            co_given = true;
         } else if (arg == "--scale") {
-            config.scale = std::atof(next());
+            config.with_scale(std::atof(next()));
         } else if (arg == "--ops") {
-            config.measure_ops = std::strtoull(next(), nullptr, 10);
+            config.with_measure_ops(std::strtoull(next(), nullptr, 10));
         } else if (arg == "--seed") {
-            config.seed = std::strtoull(next(), nullptr, 10);
+            config.with_seed(std::strtoull(next(), nullptr, 10));
         } else if (arg == "--group-pages") {
             config.reservation_pages =
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--threads") {
+            options.threads =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
         } else if (arg == "--stop-after-init") {
-            config.stop_corunners_after_init = true;
+            config.with_stop_corunners_after_init();
         } else {
             usage(argv[0]);
         }
     }
     if (!co_given)
-        config.corunners = {{"objdet", 8}};
+        config.with_corunner_preset("objdet8");
 
     std::printf("victim=%s scale=%.3g ops=%llu seed=%llu co-runners:",
                 config.victim.c_str(), config.scale,
@@ -104,7 +114,11 @@ main(int argc, char **argv)
         std::printf(" %sx%u", spec.name.c_str(), spec.workers);
     std::printf("\n\n");
 
-    PairedResult pair = run_paired(config);
+    ExperimentSuite suite("run_experiment");
+    suite.add(config.victim, config);
+    SuiteResult result = suite.run(options);
+    const PairedResult &pair = result.at(config.victim).paired;
+
     print_change_table(pair.baseline.metrics, pair.ptemagnet.metrics,
                        "PTEMagnet vs default kernel:");
     std::printf("\nimprovement: %.2f%%   fragmentation: %.2f -> %.2f   "

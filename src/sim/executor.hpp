@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Thread-pool executor for independent simulation runs.
+ *
+ * Every `System` is fully self-contained (its own host/guest kernels,
+ * allocators, caches and RNG — no globals anywhere in the simulator), so
+ * scenario runs are embarrassingly parallel. The pool is a plain
+ * fixed-size worker set over a FIFO queue: submit() enqueues a task,
+ * wait() blocks until the queue is drained and all workers are idle.
+ *
+ * Tasks must not throw (simulator errors go through ptm_fatal/ptm_panic,
+ * which terminate); an escaped exception would std::terminate anyway
+ * since workers are plain threads.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptm::sim {
+
+class ThreadPool {
+  public:
+    /// @param threads worker count; 0 picks default_threads().
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /// Enqueue @p task for execution by any worker.
+    void submit(std::function<void()> task);
+
+    /// Block until every submitted task has finished.
+    void wait();
+
+    unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Worker count used when the caller does not choose one: the
+     * PTM_SUITE_THREADS environment variable if set (so CI and scripts
+     * can pin parallelism), otherwise std::thread::hardware_concurrency.
+     */
+    static unsigned default_threads();
+
+  private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable task_ready_;   ///< signalled on submit/stop
+    std::condition_variable idle_;         ///< signalled when work drains
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t in_flight_ = 0;            ///< tasks popped but unfinished
+    bool stopping_ = false;
+};
+
+}  // namespace ptm::sim

@@ -2,11 +2,25 @@
 
 #include <cmath>
 
+#include <memory>
+
 #include "common/log.hpp"
 #include "core/ptemagnet_provider.hpp"
+#include "vm/huge_page_provider.hpp"
 #include "workload/catalog.hpp"
 
 namespace ptm::sim {
+
+const char *
+page_policy_name(PagePolicy policy)
+{
+    switch (policy) {
+      case PagePolicy::Buddy: return "buddy";
+      case PagePolicy::Ptemagnet: return "ptemagnet";
+      case PagePolicy::ThpLike: return "thp";
+    }
+    return "?";
+}
 
 namespace {
 /// §6.2 sampling cadence, in victim operations (the paper samples every
@@ -24,8 +38,17 @@ run_scenario(const ScenarioConfig &config)
     platform.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
 
     System system(platform, cores);
-    if (config.use_ptemagnet)
+    switch (config.policy) {
+      case PagePolicy::Buddy:
+        break;
+      case PagePolicy::Ptemagnet:
         system.enable_ptemagnet(config.reservation_pages);
+        break;
+      case PagePolicy::ThpLike:
+        system.guest().set_provider(
+            std::make_unique<vm::HugePageProvider>(&system.guest()));
+        break;
+    }
 
     workload::WorkloadOptions options;
     options.scale = config.scale;
@@ -112,6 +135,7 @@ run_scenario(const ScenarioConfig &config)
 
     result.victim_cycles = victim.counters().cycles.value();
     result.victim_ops = victim.counters().ops.value();
+    result.victim_rss_pages = victim.process().rss_pages();
     result.metrics = collect_metrics(victim, system.vm());
     result.fragmentation =
         host_pt_fragmentation(victim.process(), system.vm());
@@ -142,9 +166,9 @@ PairedResult
 run_paired(ScenarioConfig config)
 {
     PairedResult result;
-    config.use_ptemagnet = false;
+    config.policy = PagePolicy::Buddy;
     result.baseline = run_scenario(config);
-    config.use_ptemagnet = true;
+    config.policy = PagePolicy::Ptemagnet;
     result.ptemagnet = run_scenario(config);
     return result;
 }

@@ -13,27 +13,46 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "sim/metrics.hpp"
 #include "sim/platform.hpp"
 #include "sim/system.hpp"
+#include "workload/catalog.hpp"
 
 namespace ptm::sim {
 
-/// One co-runner: a catalog workload running @p workers worker processes
-/// (the paper's co-runners are multi-threaded; each worker is one job).
-struct CorunnerSpec {
-    std::string name;
-    unsigned workers = 1;
+/// Co-runner specs live in the workload layer (workload/catalog.hpp) so
+/// presets can be shared; the old sim-level name remains as an alias.
+using workload::CorunnerSpec;
+
+/// Guest physical-page allocation policy of a run.
+enum class PagePolicy {
+    Buddy,      ///< default kernel: plain buddy allocation
+    Ptemagnet,  ///< the paper's reservation-based policy
+    ThpLike,    ///< eager 2 MiB backing (§2.3 comparison point)
 };
 
-/// Declarative description of one run.
+/// Short lowercase name ("buddy", "ptemagnet", "thp") for reports.
+const char *page_policy_name(PagePolicy policy);
+
+/**
+ * Declarative description of one run.
+ *
+ * A plain aggregate; the `with_*` fluent setters exist so bench code can
+ * build configs declaratively in a single expression:
+ *
+ *     ScenarioConfig{}.with_victim("pagerank")
+ *                     .with_corunner_preset("objdet8")
+ *                     .with_scale(0.5)
+ *                     .with_measure_ops(600'000)
+ */
 struct ScenarioConfig {
-    std::string victim;                 ///< catalog name
+    std::string victim = "pagerank";    ///< catalog name
     std::vector<CorunnerSpec> corunners;
-    bool use_ptemagnet = false;
+    PagePolicy policy = PagePolicy::Buddy;
     /// Reservation granularity in pages (ablation; the paper uses 8).
     unsigned reservation_pages = kPagesPerReservation;
     double scale = 1.0;                  ///< workload footprint multiplier
@@ -50,6 +69,83 @@ struct ScenarioConfig {
     /// by the §6.4 allocation-latency microbenchmark.
     bool measure_init = false;
     PlatformConfig platform;
+
+    // ---- fluent setters --------------------------------------------
+    ScenarioConfig &
+    with_victim(std::string name)
+    {
+        victim = std::move(name);
+        return *this;
+    }
+    ScenarioConfig &
+    with_corunners(std::vector<CorunnerSpec> specs)
+    {
+        corunners = std::move(specs);
+        return *this;
+    }
+    /// Append one co-runner (repeatable).
+    ScenarioConfig &
+    with_corunner(std::string name, unsigned workers = 1)
+    {
+        corunners.push_back({std::move(name), workers});
+        return *this;
+    }
+    /// Replace the co-runner list with a named workload preset.
+    ScenarioConfig &
+    with_corunner_preset(const std::string &preset)
+    {
+        corunners = workload::corunner_preset(preset);
+        return *this;
+    }
+    ScenarioConfig &
+    with_policy(PagePolicy p)
+    {
+        policy = p;
+        return *this;
+    }
+    ScenarioConfig &
+    with_ptemagnet(unsigned group_pages = kPagesPerReservation)
+    {
+        policy = PagePolicy::Ptemagnet;
+        reservation_pages = group_pages;
+        return *this;
+    }
+    ScenarioConfig &
+    with_scale(double s)
+    {
+        scale = s;
+        return *this;
+    }
+    ScenarioConfig &
+    with_measure_ops(std::uint64_t ops)
+    {
+        measure_ops = ops;
+        return *this;
+    }
+    ScenarioConfig &
+    with_seed(std::uint64_t s)
+    {
+        seed = s;
+        return *this;
+    }
+    ScenarioConfig &
+    with_warmup_ops(std::uint64_t ops)
+    {
+        corunner_warmup_ops = ops;
+        return *this;
+    }
+    ScenarioConfig &
+    with_stop_corunners_after_init(bool stop = true)
+    {
+        stop_corunners_after_init = stop;
+        return *this;
+    }
+    ScenarioConfig &
+    with_measure_init(bool measure = true)
+    {
+        measure_init = measure;
+        return *this;
+    }
 };
 
 /// Everything a run reports.
@@ -57,6 +153,7 @@ struct ScenarioResult {
     MetricSet metrics;                    ///< Table 1/4 metric set
     Cycles victim_cycles = 0;             ///< measured execution time
     std::uint64_t victim_ops = 0;
+    std::uint64_t victim_rss_pages = 0;   ///< resident set at run end
     FragmentationReport fragmentation;    ///< §3.2 metric detail
     /// §6.2: peak (reserved-but-unmapped pages / victim RSS) observed.
     double peak_unused_reservation_fraction = 0.0;
@@ -71,7 +168,9 @@ ScenarioResult run_scenario(const ScenarioConfig &config);
 
 /**
  * Convenience for the Figure 6/7 bars: run @p config twice (baseline
- * buddy vs PTEMagnet, same seed) and return the pair.
+ * buddy vs PTEMagnet, same seed) and return the pair. ExperimentSuite
+ * (sim/suite.hpp) composes this primitive to run the two legs — and
+ * whole suites of scenarios — concurrently.
  */
 struct PairedResult {
     ScenarioResult baseline;

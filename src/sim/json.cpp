@@ -1,0 +1,445 @@
+#include "sim/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace ptm::sim {
+
+bool
+Json::as_bool() const
+{
+    if (!is_bool())
+        ptm_fatal("json: not a bool");
+    return std::get<bool>(value_);
+}
+
+double
+Json::as_double() const
+{
+    if (!is_number())
+        ptm_fatal("json: not a number");
+    return std::get<double>(value_);
+}
+
+std::uint64_t
+Json::as_u64() const
+{
+    double d = as_double();
+    if (d < 0.0 || d != std::floor(d))
+        ptm_fatal("json: %g is not an unsigned integer", d);
+    return static_cast<std::uint64_t>(d);
+}
+
+const std::string &
+Json::as_string() const
+{
+    if (!is_string())
+        ptm_fatal("json: not a string");
+    return std::get<std::string>(value_);
+}
+
+const JsonArray &
+Json::as_array() const
+{
+    if (!is_array())
+        ptm_fatal("json: not an array");
+    return std::get<JsonArray>(value_);
+}
+
+const JsonObject &
+Json::as_object() const
+{
+    if (!is_object())
+        ptm_fatal("json: not an object");
+    return std::get<JsonObject>(value_);
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    for (const auto &[k, v] : as_object()) {
+        if (k == key)
+            return v;
+    }
+    ptm_fatal("json: missing key '%s'", key.c_str());
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    for (const auto &[k, v] : as_object()) {
+        (void)v;
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    if (!is_object())
+        ptm_fatal("json: set() on a non-object");
+    auto &fields = std::get<JsonObject>(value_);
+    for (auto &[k, v] : fields) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    fields.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push_back(Json value)
+{
+    if (!is_array())
+        ptm_fatal("json: push_back() on a non-array");
+    std::get<JsonArray>(value_).push_back(std::move(value));
+    return *this;
+}
+
+// ---- serializer ----------------------------------------------------
+
+namespace {
+
+void
+dump_string(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+}
+
+void
+dump_number(std::string &out, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no inf/nan; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    if (d == std::floor(d) && std::fabs(d) < 0x1p53) {
+        out += strprintf("%lld", static_cast<long long>(d));
+        return;
+    }
+    // %.17g round-trips any double exactly.
+    out += strprintf("%.17g", d);
+}
+
+void
+newline_indent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void
+Json::dump_to(std::string &out, int indent, int depth) const
+{
+    if (is_null()) {
+        out += "null";
+    } else if (is_bool()) {
+        out += std::get<bool>(value_) ? "true" : "false";
+    } else if (is_number()) {
+        dump_number(out, std::get<double>(value_));
+    } else if (is_string()) {
+        dump_string(out, std::get<std::string>(value_));
+    } else if (is_array()) {
+        const auto &items = std::get<JsonArray>(value_);
+        if (items.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        bool first = true;
+        for (const Json &item : items) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline_indent(out, indent, depth + 1);
+            item.dump_to(out, indent, depth + 1);
+        }
+        newline_indent(out, indent, depth);
+        out += ']';
+    } else {
+        const auto &fields = std::get<JsonObject>(value_);
+        if (fields.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &[key, value] : fields) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline_indent(out, indent, depth + 1);
+            dump_string(out, key);
+            out += indent > 0 ? ": " : ":";
+            value.dump_to(out, indent, depth + 1);
+        }
+        newline_indent(out, indent, depth);
+        out += '}';
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+// ---- parser ---------------------------------------------------------
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    parse_document()
+    {
+        Json value = parse_value();
+        skip_ws();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        ptm_fatal("json parse error at offset %zu: %s", pos_, what);
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    take()
+    {
+        char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void
+    expect(char c)
+    {
+        if (take() != c)
+            fail("unexpected character");
+    }
+
+    bool
+    consume_literal(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    parse_value()
+    {
+        skip_ws();
+        switch (peek()) {
+          case '{': return parse_object();
+          case '[': return parse_array();
+          case '"': return Json(parse_string());
+          case 't':
+            if (!consume_literal("true"))
+                fail("bad literal");
+            return Json(true);
+          case 'f':
+            if (!consume_literal("false"))
+                fail("bad literal");
+            return Json(false);
+          case 'n':
+            if (!consume_literal("null"))
+                fail("bad literal");
+            return Json(nullptr);
+          default: return parse_number();
+        }
+    }
+
+    Json
+    parse_object()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj.set(key, parse_value());
+            skip_ws();
+            char c = take();
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    Json
+    parse_array()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push_back(parse_value());
+            skip_ws();
+            char c = take();
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    std::string
+    parse_string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = take();
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            char esc = take();
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = take();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // We only emit \u for control characters; decode the
+                // BMP code point as UTF-8 for generality.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    Json
+    parse_number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        char *end = nullptr;
+        std::string token = text_.substr(start, pos_ - start);
+        double d = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            fail("malformed number");
+        return Json(d);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).parse_document();
+}
+
+}  // namespace ptm::sim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal JSON value type for machine-readable experiment output.
+ *
+ * The suite driver writes every scenario's result set as
+ * `BENCH_<suite>.json` so the perf trajectory of the repo can be tracked
+ * by tools instead of scraped from text tables. We need no external
+ * dependency for that: this is a small ordered-object JSON model with a
+ * serializer and a strict recursive-descent parser (the parser exists so
+ * tests can assert that output round-trips, and so future tooling can
+ * diff result files in-process).
+ *
+ * Numbers are stored as doubles; counters up to 2^53 round-trip exactly,
+ * far beyond any simulated cycle count.
+ */
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ptm::sim {
+
+class Json;
+
+/// Object keys keep insertion order: result files should read in the
+/// order experiments declare their fields, not alphabetically.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+using JsonArray = std::vector<Json>;
+
+class Json {
+  public:
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(double d) : value_(d) {}
+    Json(int i) : value_(static_cast<double>(i)) {}
+    Json(unsigned u) : value_(static_cast<double>(u)) {}
+    Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+    Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
+    Json(const char *s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+    Json(JsonArray a) : value_(std::move(a)) {}
+    Json(JsonObject o) : value_(std::move(o)) {}
+
+    static Json object() { return Json(JsonObject{}); }
+    static Json array() { return Json(JsonArray{}); }
+
+    bool is_null() const { return holds<std::nullptr_t>(); }
+    bool is_bool() const { return holds<bool>(); }
+    bool is_number() const { return holds<double>(); }
+    bool is_string() const { return holds<std::string>(); }
+    bool is_array() const { return holds<JsonArray>(); }
+    bool is_object() const { return holds<JsonObject>(); }
+
+    /// Typed accessors; fatal on type mismatch (experiment files are
+    /// produced by us — a mismatch is a bug, not user input).
+    bool as_bool() const;
+    double as_double() const;
+    std::uint64_t as_u64() const;
+    const std::string &as_string() const;
+    const JsonArray &as_array() const;
+    const JsonObject &as_object() const;
+
+    /// Object field access; fatal if not an object or key missing.
+    const Json &at(const std::string &key) const;
+    bool contains(const std::string &key) const;
+
+    /// Set (insert or overwrite) an object field; fatal if not an object.
+    Json &set(const std::string &key, Json value);
+    /// Append an array element; fatal if not an array.
+    Json &push_back(Json value);
+
+    /// Serialize. @p indent > 0 pretty-prints with that many spaces.
+    std::string dump(int indent = 0) const;
+
+    /// Strict parse of a complete JSON document; fatal on any error.
+    static Json parse(const std::string &text);
+
+  private:
+    template <typename T>
+    bool
+    holds() const
+    {
+        return std::holds_alternative<T>(value_);
+    }
+
+    void dump_to(std::string &out, int indent, int depth) const;
+
+    std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+                 JsonObject>
+        value_;
+};
+
+}  // namespace ptm::sim

@@ -1,0 +1,347 @@
+#include "sim/suite.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace ptm::sim {
+
+namespace {
+
+void
+apply_sweep_param(ScenarioConfig &config, const std::string &param,
+                  double value)
+{
+    if (param == "reservation_pages")
+        config.reservation_pages = static_cast<unsigned>(value);
+    else if (param == "scale")
+        config.scale = value;
+    else if (param == "measure_ops")
+        config.measure_ops = static_cast<std::uint64_t>(value);
+    else if (param == "seed")
+        config.seed = static_cast<std::uint64_t>(value);
+    else if (param == "corunner_warmup_ops")
+        config.corunner_warmup_ops = static_cast<std::uint64_t>(value);
+    else
+        ptm_fatal("unknown sweep parameter '%s'", param.c_str());
+}
+
+std::string
+format_sweep_value(double value)
+{
+    if (value == std::floor(value) && std::fabs(value) < 0x1p53)
+        return strprintf("%lld", static_cast<long long>(value));
+    return strprintf("%g", value);
+}
+
+}  // namespace
+
+// ---- SuiteResult -----------------------------------------------------
+
+const EntryResult &
+SuiteResult::at(const std::string &name) const
+{
+    for (const EntryResult &entry : entries_) {
+        if (entry.entry.name == name)
+            return entry;
+    }
+    ptm_fatal("suite '%s' has no entry '%s'", suite_name_.c_str(),
+              name.c_str());
+}
+
+bool
+SuiteResult::has(const std::string &name) const
+{
+    for (const EntryResult &entry : entries_) {
+        if (entry.entry.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<double>
+SuiteResult::improvements() const
+{
+    std::vector<double> percents;
+    for (const EntryResult &entry : entries_) {
+        if (entry.is_paired())
+            percents.push_back(entry.improvement_percent());
+    }
+    return percents;
+}
+
+double
+SuiteResult::geomean() const
+{
+    return geomean_improvement(improvements());
+}
+
+Json
+SuiteResult::to_json() const
+{
+    Json doc = Json::object();
+    doc.set("suite", suite_name_);
+    doc.set("threads", threads_);
+
+    Json entries = Json::array();
+    for (const EntryResult &entry : entries_) {
+        Json e = Json::object();
+        e.set("name", entry.entry.name);
+        e.set("kind", entry.is_paired() ? "paired" : "single");
+        if (!entry.entry.sweep_param.empty()) {
+            e.set("sweep_param", entry.entry.sweep_param);
+            e.set("sweep_value", entry.entry.sweep_value);
+        }
+        e.set("config", sim::to_json(entry.entry.config));
+        if (entry.is_paired()) {
+            e.set("baseline", sim::to_json(entry.paired.baseline));
+            e.set("ptemagnet", sim::to_json(entry.paired.ptemagnet));
+            e.set("improvement_percent", entry.improvement_percent());
+        } else {
+            e.set("result", sim::to_json(entry.single));
+        }
+        entries.push_back(std::move(e));
+    }
+    doc.set("entries", std::move(entries));
+
+    std::vector<double> percents = improvements();
+    if (!percents.empty()) {
+        Json summary = Json::object();
+        summary.set("paired_entries",
+                    static_cast<std::uint64_t>(percents.size()));
+        summary.set("geomean_improvement_percent",
+                    geomean_improvement(percents));
+        doc.set("summary", std::move(summary));
+    }
+    return doc;
+}
+
+std::string
+SuiteResult::write_json(const std::string &dir) const
+{
+    std::string out_dir = dir;
+    if (out_dir.empty()) {
+        if (const char *env = std::getenv("PTM_BENCH_DIR"))
+            out_dir = env;
+        else
+            out_dir = ".";
+    }
+    std::string path = out_dir + "/BENCH_" + suite_name_ + ".json";
+    std::ofstream out(path);
+    if (!out)
+        ptm_fatal("cannot write '%s'", path.c_str());
+    out << to_json().dump(2) << '\n';
+    if (!out.good())
+        ptm_fatal("short write to '%s'", path.c_str());
+    return path;
+}
+
+// ---- ExperimentSuite -------------------------------------------------
+
+ExperimentSuite::ExperimentSuite(std::string name)
+    : name_(std::move(name))
+{
+}
+
+ScenarioConfig &
+ExperimentSuite::add(const std::string &name, ScenarioConfig config,
+                     RunKind kind)
+{
+    for (const SuiteEntry &entry : entries_) {
+        if (entry.name == name)
+            ptm_fatal("suite '%s': duplicate scenario '%s'",
+                      name_.c_str(), name.c_str());
+    }
+    entries_.push_back(
+        SuiteEntry{name, std::move(config), kind, "", 0.0});
+    return entries_.back().config;
+}
+
+void
+ExperimentSuite::sweep(const std::string &label, const std::string &param,
+                       const std::vector<double> &values,
+                       ScenarioConfig base, RunKind kind)
+{
+    for (double value : values) {
+        ScenarioConfig config = base;
+        apply_sweep_param(config, param, value);
+        std::string name =
+            label + "/" + param + "=" + format_sweep_value(value);
+        add(name, std::move(config), kind);
+        entries_.back().sweep_param = param;
+        entries_.back().sweep_value = value;
+    }
+}
+
+SuiteResult
+ExperimentSuite::run(const SuiteOptions &options) const
+{
+    SuiteResult result;
+    result.suite_name_ = name_;
+    result.entries_.reserve(entries_.size());
+
+    std::size_t runs = 0;
+    for (const SuiteEntry &entry : entries_) {
+        EntryResult &slot = result.entries_.emplace_back();
+        slot.entry = entry;
+        runs += entry.kind == RunKind::Paired ? 2 : 1;
+    }
+
+    unsigned threads =
+        options.threads != 0 ? options.threads
+                             : ThreadPool::default_threads();
+    if (runs < threads)
+        threads = runs != 0 ? static_cast<unsigned>(runs) : 1;
+    result.threads_ = threads;
+
+    if (options.announce) {
+        std::fprintf(stderr,
+                     "[suite %s] %zu scenarios, %zu runs, %u threads\n",
+                     name_.c_str(), entries_.size(), runs, threads);
+    }
+
+    {
+        ThreadPool pool(threads);
+        for (EntryResult &slot : result.entries_) {
+            if (slot.entry.kind == RunKind::Paired) {
+                // The two legs of a pair are independent runs too; the
+                // pool executes them concurrently, unlike run_paired.
+                pool.submit([&slot]() {
+                    ScenarioConfig config = slot.entry.config;
+                    config.policy = PagePolicy::Buddy;
+                    slot.paired.baseline = run_scenario(config);
+                });
+                pool.submit([&slot]() {
+                    ScenarioConfig config = slot.entry.config;
+                    config.policy = PagePolicy::Ptemagnet;
+                    slot.paired.ptemagnet = run_scenario(config);
+                });
+            } else {
+                pool.submit([&slot]() {
+                    slot.single = run_scenario(slot.entry.config);
+                });
+            }
+        }
+        pool.wait();
+    }
+
+    if (options.write_json) {
+        std::string path = result.write_json(options.json_dir);
+        if (options.announce)
+            std::fprintf(stderr, "[suite %s] results -> %s\n",
+                         name_.c_str(), path.c_str());
+    }
+    return result;
+}
+
+// ---- reporting -------------------------------------------------------
+
+void
+print_improvement_table(const SuiteResult &result, int name_width)
+{
+    std::printf("%-*s %14s %14s %13s\n", name_width, "benchmark",
+                "base cycles", "ptm cycles", "improvement");
+    for (const EntryResult &entry : result.entries()) {
+        if (!entry.is_paired())
+            continue;
+        std::printf("%-*s %14llu %14llu %+12.1f%%\n", name_width,
+                    entry.entry.name.c_str(),
+                    static_cast<unsigned long long>(
+                        entry.paired.baseline.victim_cycles),
+                    static_cast<unsigned long long>(
+                        entry.paired.ptemagnet.victim_cycles),
+                    entry.improvement_percent());
+    }
+    std::printf("%-*s %14s %14s %+12.1f%%\n", name_width, "Geomean", "",
+                "", result.geomean());
+}
+
+// ---- JSON serialization ----------------------------------------------
+
+Json
+to_json(const ScenarioConfig &config)
+{
+    Json j = Json::object();
+    j.set("victim", config.victim);
+    Json corunners = Json::array();
+    for (const CorunnerSpec &spec : config.corunners) {
+        Json c = Json::object();
+        c.set("name", spec.name);
+        c.set("workers", spec.workers);
+        corunners.push_back(std::move(c));
+    }
+    j.set("corunners", std::move(corunners));
+    j.set("policy", page_policy_name(config.policy));
+    j.set("reservation_pages", config.reservation_pages);
+    j.set("scale", config.scale);
+    j.set("measure_ops", config.measure_ops);
+    j.set("seed", config.seed);
+    j.set("corunner_warmup_ops", config.corunner_warmup_ops);
+    j.set("stop_corunners_after_init", config.stop_corunners_after_init);
+    j.set("measure_init", config.measure_init);
+    return j;
+}
+
+Json
+to_json(const ScenarioResult &result)
+{
+    Json j = Json::object();
+
+    Json metrics = Json::object();
+    for (const auto &[name, value] : result.metrics.values())
+        metrics.set(name, value);
+    j.set("metrics", std::move(metrics));
+
+    j.set("victim_cycles", result.victim_cycles);
+    j.set("victim_ops", result.victim_ops);
+    j.set("victim_rss_pages", result.victim_rss_pages);
+
+    Json frag = Json::object();
+    frag.set("average_hpte_lines", result.fragmentation.average_hpte_lines);
+    frag.set("fragmented_fraction",
+             result.fragmentation.fragmented_fraction);
+    frag.set("max_hpte_lines", result.fragmentation.max_hpte_lines);
+    frag.set("groups", result.fragmentation.groups);
+    j.set("fragmentation", std::move(frag));
+
+    j.set("peak_unused_reservation_fraction",
+          result.peak_unused_reservation_fraction);
+    j.set("reservations_created", result.reservations_created);
+    j.set("part_hits", result.part_hits);
+    j.set("buddy_calls", result.buddy_calls);
+    return j;
+}
+
+ScenarioResult
+scenario_result_from_json(const Json &json)
+{
+    ScenarioResult result;
+    for (const auto &[name, value] : json.at("metrics").as_object())
+        result.metrics.set(name, value.as_double());
+    result.victim_cycles = json.at("victim_cycles").as_u64();
+    result.victim_ops = json.at("victim_ops").as_u64();
+    result.victim_rss_pages = json.at("victim_rss_pages").as_u64();
+
+    const Json &frag = json.at("fragmentation");
+    result.fragmentation.average_hpte_lines =
+        frag.at("average_hpte_lines").as_double();
+    result.fragmentation.fragmented_fraction =
+        frag.at("fragmented_fraction").as_double();
+    result.fragmentation.max_hpte_lines =
+        frag.at("max_hpte_lines").as_double();
+    result.fragmentation.groups = frag.at("groups").as_u64();
+
+    result.peak_unused_reservation_fraction =
+        json.at("peak_unused_reservation_fraction").as_double();
+    result.reservations_created =
+        json.at("reservations_created").as_u64();
+    result.part_hits = json.at("part_hits").as_u64();
+    result.buddy_calls = json.at("buddy_calls").as_u64();
+    return result;
+}
+
+}  // namespace ptm::sim

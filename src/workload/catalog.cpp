@@ -276,4 +276,34 @@ corunner_names()
     return names;
 }
 
+const std::map<std::string, std::vector<CorunnerSpec>> &
+corunner_presets()
+{
+    static const std::map<std::string, std::vector<CorunnerSpec>> presets =
+        {
+            {"none", {}},
+            {"objdet8", {{"objdet", 8}}},
+            {"combo",
+             {{"objdet", 2},
+              {"chameleon", 1},
+              {"pyaes", 1},
+              {"json_serdes", 1},
+              {"rnn_serving", 1},
+              {"gcc", 1},
+              {"xz", 1}}},
+            {"stressng12", {{"stress-ng", 12}}},
+        };
+    return presets;
+}
+
+const std::vector<CorunnerSpec> &
+corunner_preset(const std::string &name)
+{
+    const auto &presets = corunner_presets();
+    auto it = presets.find(name);
+    if (it == presets.end())
+        ptm_fatal("unknown co-runner preset '%s'", name.c_str());
+    return it->second;
+}
+
 }  // namespace ptm::workload

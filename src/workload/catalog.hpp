@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,13 @@
 #include "workload/synthetic.hpp"
 
 namespace ptm::workload {
+
+/// One co-runner: a catalog workload running @p workers worker processes
+/// (the paper's co-runners are multi-threaded; each worker is one job).
+struct CorunnerSpec {
+    std::string name;
+    unsigned workers = 1;
+};
 
 /// Knobs shared by all presets.
 struct WorkloadOptions {
@@ -49,5 +57,19 @@ const std::vector<std::string> &low_pressure_names();
 
 /// The co-runner set used in the Figure 7 "combination" scenario.
 const std::vector<std::string> &corunner_names();
+
+/**
+ * The named co-runner combinations of the evaluation, shared by the
+ * benches instead of copy-pasted initializer lists:
+ *  - "none":       standalone run (Table 1 reference arm)
+ *  - "objdet8":    8-worker objdet, the highest-fault-rate co-runner
+ *                  (Figures 5/6, Tables 4, §6.1/§6.2 protocols)
+ *  - "combo":      the full Table 3 combination (Figure 7)
+ *  - "stressng12": 12-worker stress-ng fault churn (Table 1)
+ */
+const std::map<std::string, std::vector<CorunnerSpec>> &corunner_presets();
+
+/// Lookup one preset by name; unknown names are fatal.
+const std::vector<CorunnerSpec> &corunner_preset(const std::string &name);
 
 }  // namespace ptm::workload
