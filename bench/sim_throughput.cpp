@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: how many simulated memory operations
+ * per host second the per-access hot path (System::step ->
+ * NestedWalker::translate -> Cache::access) sustains.
+ *
+ * Not a paper figure: this measures the *simulator itself*, so hot-path
+ * refactors have a tracked perf trajectory. It drives the mixed
+ * pagerank+objdet scenario (both policy legs) through ExperimentSuite on
+ * one thread — per-leg wall-clock must not be perturbed by sibling legs —
+ * and reports simulated ops/sec per leg; the numbers land in
+ * BENCH_sim_throughput.json via the standard sink (`sim_perf` per leg).
+ *
+ * With --smoke (or PTM_SMOKE=1) the scenario shrinks to ctest size; the
+ * run then only sanity-checks that throughput is reported, it does not
+ * produce a meaningful rate.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/suite.hpp"
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "sim_throughput: FAIL: %s\n", what);
+        ++failures;
+    }
+}
+
+void
+report_leg(const char *leg, const ptm::sim::ScenarioResult &result)
+{
+    std::printf("sim_throughput: %-9s ops=%llu host_seconds=%.3f "
+                "ops_per_sec=%.0f\n",
+                leg, static_cast<unsigned long long>(result.total_ops),
+                result.host_seconds, result.ops_per_second());
+    check(result.total_ops > 0, "leg executed operations");
+    check(result.host_seconds > 0.0, "leg recorded wall-clock");
+    check(result.ops_per_second() > 0.0, "leg reports a throughput");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ptm::sim;
+
+    bool smoke = std::getenv("PTM_SMOKE") != nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    // The acceptance scenario: pagerank victim colocated with objdet
+    // co-runners, both policies. Heavy enough that steady-state ops
+    // dominate setup, small enough to finish in seconds.
+    ScenarioConfig mixed = ScenarioConfig{}
+                               .with_victim("pagerank")
+                               .with_corunner("objdet", 2)
+                               .with_scale(smoke ? 0.05 : 0.4)
+                               .with_measure_ops(smoke ? 20'000 : 2'000'000)
+                               .with_warmup_ops(smoke ? 5'000 : 100'000);
+    if (smoke) {
+        mixed.platform.guest_frames = 16 * 1024;
+        mixed.platform.host_frames = 24 * 1024;
+    }
+
+    ExperimentSuite suite("sim_throughput");
+    suite.add("pagerank_objdet", mixed);
+
+    SuiteOptions options;
+    options.threads = 1;  // per-leg wall-clock must be interference-free
+    options.json_dir = ".";
+    SuiteResult result = suite.run(options);
+
+    const EntryResult &entry = result.at("pagerank_objdet");
+    report_leg("baseline", entry.paired.baseline);
+    report_leg("ptemagnet", entry.paired.ptemagnet);
+
+    double total_ops =
+        static_cast<double>(entry.paired.baseline.total_ops +
+                            entry.paired.ptemagnet.total_ops);
+    double total_seconds = entry.paired.baseline.host_seconds +
+                           entry.paired.ptemagnet.host_seconds;
+    if (total_seconds > 0.0) {
+        std::printf("sim_throughput: combined  ops_per_sec=%.0f\n",
+                    total_ops / total_seconds);
+    }
+
+    if (failures == 0)
+        std::printf("sim_throughput: OK (%s mode)\n",
+                    smoke ? "smoke" : "full");
+    return failures == 0 ? 0 : 1;
+}

@@ -1,13 +1,15 @@
 #include "cache/cache.hpp"
 
+#include <algorithm>
 #include <bit>
-
-#include "common/log.hpp"
 
 namespace ptm::cache {
 
-Cache::Cache(const CacheGeometry &geometry, Rng *rng) : geometry_(geometry)
+Cache::Cache(const CacheGeometry &geometry, Rng *rng)
+    : geometry_(geometry), rng_(rng)
 {
+    if (geometry_.ways == 0)
+        ptm_fatal("%s: cache with zero ways", geometry_.name.c_str());
     num_sets_ = geometry_.num_sets();
     if (num_sets_ == 0 || (num_sets_ & (num_sets_ - 1)) != 0) {
         ptm_fatal("%s: set count %llu is not a nonzero power of two "
@@ -18,102 +20,86 @@ Cache::Cache(const CacheGeometry &geometry, Rng *rng) : geometry_(geometry)
                   geometry_.ways);
     }
     set_shift_ = static_cast<unsigned>(std::countr_zero(num_sets_));
+    ways_ = geometry_.ways;
 
-    sets_.resize(num_sets_);
-    for (Set &set : sets_) {
-        set.ways.resize(geometry_.ways);
-        set.policy =
-            make_replacement_policy(geometry_.replacement, geometry_.ways,
-                                    rng);
+    switch (geometry_.replacement) {
+      case ReplacementKind::Lru:
+        repl_words_ = ways_;
+        break;
+      case ReplacementKind::TreePlru:
+        plru_leaves_ = 1;
+        while (plru_leaves_ < ways_)
+            plru_leaves_ <<= 1;
+        repl_words_ = plru_leaves_;
+        break;
+      case ReplacementKind::Random:
+        if (rng_ == nullptr)
+            ptm_fatal("%s: random replacement needs an Rng",
+                      geometry_.name.c_str());
+        repl_words_ = 0;
+        break;
     }
-}
+    set_stride_ = ways_ + repl_words_;
 
-int
-Cache::find_way(const Set &set, std::uint64_t tag) const
-{
-    for (unsigned w = 0; w < set.ways.size(); ++w) {
-        if (set.ways[w].valid && set.ways[w].tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
-void
-Cache::install(Set &set, std::uint64_t tag)
-{
-    // Prefer an invalid way; otherwise evict the policy's victim.
-    for (unsigned w = 0; w < set.ways.size(); ++w) {
-        if (!set.ways[w].valid) {
-            set.ways[w] = {tag, true};
-            set.policy->touch(w);
-            return;
-        }
-    }
-    unsigned victim = set.policy->victim();
-    set.ways[victim] = {tag, true};
-    set.policy->touch(victim);
-}
-
-bool
-Cache::access(std::uint64_t line, AccessKind kind)
-{
-    Set &set = sets_[set_index(line)];
-    std::uint64_t tag = tag_of(line);
-    int way = find_way(set, tag);
-    if (way >= 0) {
-        set.policy->touch(static_cast<unsigned>(way));
-        stats_.hits[static_cast<unsigned>(kind)].inc();
-        return true;
-    }
-    stats_.misses[static_cast<unsigned>(kind)].inc();
-    install(set, tag);
-    return false;
+    slab_.assign(static_cast<std::size_t>(num_sets_) * set_stride_, 0);
+    valid_.assign(static_cast<std::size_t>(num_sets_) * ways_, 0);
+    live_.assign(num_sets_, 0);
 }
 
 bool
 Cache::probe(std::uint64_t line) const
 {
-    const Set &set = sets_[set_index(line)];
-    return find_way(set, tag_of(line)) >= 0;
+    const std::uint64_t set = line & (num_sets_ - 1);
+    const std::uint64_t tag = line >> set_shift_;
+    const std::uint64_t *tags = set_tags(set);
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (tags[w] == tag && valid_[set * ways_ + w] != 0)
+            return true;
+    }
+    return false;
 }
 
 void
 Cache::fill(std::uint64_t line)
 {
-    Set &set = sets_[set_index(line)];
-    std::uint64_t tag = tag_of(line);
-    if (find_way(set, tag) < 0)
-        install(set, tag);
+    const std::uint64_t set = line & (num_sets_ - 1);
+    const std::uint64_t tag = line >> set_shift_;
+    const std::uint64_t *tags = set_tags(set);
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (tags[w] == tag && valid_[set * ways_ + w] != 0)
+            return;
+    }
+    install(set, tag);
 }
 
 void
 Cache::invalidate(std::uint64_t line)
 {
-    Set &set = sets_[set_index(line)];
-    int way = find_way(set, tag_of(line));
-    if (way >= 0)
-        set.ways[static_cast<unsigned>(way)].valid = false;
+    const std::uint64_t set = line & (num_sets_ - 1);
+    const std::uint64_t tag = line >> set_shift_;
+    const std::uint64_t *tags = set_tags(set);
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (tags[w] == tag && valid_[set * ways_ + w] != 0) {
+            valid_[set * ways_ + w] = 0;
+            --live_[set];
+            return;
+        }
+    }
 }
 
 void
 Cache::flush()
 {
-    for (Set &set : sets_) {
-        for (Way &way : set.ways)
-            way.valid = false;
-    }
+    std::fill(valid_.begin(), valid_.end(), static_cast<std::uint8_t>(0));
+    std::fill(live_.begin(), live_.end(), 0u);
 }
 
 std::uint64_t
 Cache::resident_lines() const
 {
     std::uint64_t n = 0;
-    for (const Set &set : sets_) {
-        for (const Way &way : set.ways) {
-            if (way.valid)
-                ++n;
-        }
-    }
+    for (unsigned live : live_)
+        n += live;
     return n;
 }
 

@@ -3,19 +3,26 @@
  * Tag-only set-associative cache model.
  *
  * The simulator only needs hit/miss behaviour and eviction order, never
- * line contents, so a cache is an array of sets of tags plus a replacement
- * policy per set. Write-allocate, no dirty tracking (latency is symmetric
- * for the metrics the paper reports).
+ * line contents. The tag store is a single contiguous slab laid out
+ * set-major: each set's tags are immediately followed by its replacement
+ * state (LRU stamps or tree-PLRU direction bits), so one lookup touches
+ * one short run of host cache lines — index arithmetic only, no per-set
+ * objects, no pointers to chase. Replacement is dispatched with a single
+ * branch on ReplacementKind instead of a virtual call (the virtual
+ * policies in replacement.hpp remain as the reference model the tests
+ * compare against). Write-allocate, no dirty tracking (latency is
+ * symmetric for the metrics the paper reports).
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/access.hpp"
 #include "cache/replacement.hpp"
+#include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -73,7 +80,27 @@ class Cache {
      * policy's victim).
      * @return true on hit.
      */
-    bool access(std::uint64_t line, AccessKind kind);
+    bool
+    access(std::uint64_t line, AccessKind kind)
+    {
+        const std::uint64_t set = line & (num_sets_ - 1);
+        const std::uint64_t tag = line >> set_shift_;
+        const std::uint64_t *tags = set_tags(set);
+        for (unsigned w = 0; w < ways_; ++w) {
+            // Tag first: equal tags are rare, so the valid byte is only
+            // consulted on a candidate match (stale tags of invalidated
+            // ways are rejected by it).
+            if (tags[w] == tag &&
+                valid_[set * ways_ + w] != 0) {
+                touch(set, w);
+                stats_.hits[static_cast<unsigned>(kind)].inc();
+                return true;
+            }
+        }
+        stats_.misses[static_cast<unsigned>(kind)].inc();
+        install(set, tag);
+        return false;
+    }
 
     /// Look up without installing or updating recency (test/metric hook).
     bool probe(std::uint64_t line) const;
@@ -95,29 +122,123 @@ class Cache {
     std::uint64_t resident_lines() const;
 
   private:
-    struct Way {
-        std::uint64_t tag = 0;
-        bool valid = false;
-    };
-
-    struct Set {
-        std::vector<Way> ways;
-        std::unique_ptr<ReplacementPolicy> policy;
-    };
-
-    std::uint64_t set_index(std::uint64_t line) const
+    std::uint64_t *set_tags(std::uint64_t set)
     {
-        return line & (num_sets_ - 1);
+        return &slab_[static_cast<std::size_t>(set) * set_stride_];
     }
-    std::uint64_t tag_of(std::uint64_t line) const { return line >> set_shift_; }
+    const std::uint64_t *set_tags(std::uint64_t set) const
+    {
+        return &slab_[static_cast<std::size_t>(set) * set_stride_];
+    }
+    /// Replacement state of @p set (stamps or PLRU bits), right after
+    /// its tags.
+    std::uint64_t *set_repl(std::uint64_t set)
+    {
+        return set_tags(set) + ways_;
+    }
 
-    int find_way(const Set &set, std::uint64_t tag) const;
-    void install(Set &set, std::uint64_t tag);
+    /// Record a use of @p way — single branch on the replacement kind.
+    void
+    touch(std::uint64_t set, unsigned way)
+    {
+        switch (geometry_.replacement) {
+          case ReplacementKind::Lru:
+            set_repl(set)[way] = ++clock_;
+            return;
+          case ReplacementKind::TreePlru: {
+            // Walk from root to the leaf for `way`, pointing each node
+            // away from the path taken (nodes 1..leaves-1 used).
+            std::uint64_t *bits = set_repl(set);
+            unsigned node = 1;
+            unsigned span = plru_leaves_;
+            while (span > 1) {
+                span >>= 1;
+                bool right = way >= span;
+                bits[node] = right ? 0 : 1;
+                node = node * 2 + (right ? 1 : 0);
+                if (right)
+                    way -= span;
+            }
+            return;
+          }
+          case ReplacementKind::Random:
+            return;
+        }
+    }
+
+    /// Pick the way to evict from a full set.
+    unsigned
+    victim(std::uint64_t set)
+    {
+        switch (geometry_.replacement) {
+          case ReplacementKind::Lru: {
+            // True LRU: smallest stamp wins, lowest way on ties.
+            const std::uint64_t *stamps = set_repl(set);
+            unsigned best = 0;
+            for (unsigned w = 1; w < ways_; ++w) {
+                if (stamps[w] < stamps[best])
+                    best = w;
+            }
+            return best;
+          }
+          case ReplacementKind::TreePlru: {
+            // Follow the pointers; clamp to a valid way for
+            // non-power-of-two configurations.
+            const std::uint64_t *bits = set_repl(set);
+            unsigned node = 1;
+            unsigned way = 0;
+            unsigned span = plru_leaves_;
+            while (span > 1) {
+                span >>= 1;
+                bool right = bits[node] != 0;
+                node = node * 2 + (right ? 1 : 0);
+                if (right)
+                    way += span;
+            }
+            return way >= ways_ ? ways_ - 1 : way;
+          }
+          case ReplacementKind::Random:
+            return static_cast<unsigned>(rng_->below(ways_));
+        }
+        ptm_panic("unreachable replacement kind");
+    }
+
+    void
+    install(std::uint64_t set, std::uint64_t tag)
+    {
+        // Prefer an invalid way; otherwise evict the policy's victim.
+        // Sets fill once and stay full, so track occupancy to skip the
+        // invalid-way scan in steady state.
+        unsigned w;
+        if (live_[set] < ways_) {
+            const std::size_t vbase =
+                static_cast<std::size_t>(set) * ways_;
+            w = 0;
+            while (valid_[vbase + w] != 0)
+                ++w;
+            valid_[vbase + w] = 1;
+            ++live_[set];
+        } else {
+            w = victim(set);
+        }
+        set_tags(set)[w] = tag;
+        touch(set, w);
+    }
 
     CacheGeometry geometry_;
     std::uint64_t num_sets_;
     unsigned set_shift_;
-    std::vector<Set> sets_;
+    unsigned ways_;
+    /// u64 words of replacement state per set: ways (LRU stamps),
+    /// plru_leaves_ (tree bits), or 0 (random).
+    unsigned repl_words_;
+    unsigned set_stride_;  ///< ways_ + repl_words_
+    unsigned plru_leaves_ = 0;  ///< ways rounded up to a power of two
+    std::uint64_t clock_ = 0;
+    Rng *rng_;
+    std::vector<std::uint64_t> slab_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<unsigned> live_;  ///< valid ways per set
     CacheStats stats_;
 };
 

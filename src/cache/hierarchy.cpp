@@ -6,68 +6,24 @@ namespace ptm::cache {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
                                  unsigned num_cores, Rng *rng)
-    : config_(config), num_cores_(num_cores)
+    : config_(config), num_cores_(num_cores), llc_(config.llc, rng)
 {
     if (num_cores == 0)
         ptm_fatal("hierarchy needs at least one core");
+    l1_.reserve(num_cores);
+    l2_.reserve(num_cores);
     for (unsigned c = 0; c < num_cores; ++c) {
-        l1_.push_back(std::make_unique<Cache>(config_.l1, rng));
-        l2_.push_back(std::make_unique<Cache>(config_.l2, rng));
+        l1_.emplace_back(config_.l1, rng);
+        l2_.emplace_back(config_.l2, rng);
     }
-    llc_ = std::make_unique<Cache>(config_.llc, rng);
-}
-
-Cycles
-MemoryHierarchy::latency_of(ServedBy level) const
-{
-    switch (level) {
-      case ServedBy::L1: return config_.l1_latency;
-      case ServedBy::L2: return config_.l2_latency;
-      case ServedBy::Llc: return config_.llc_latency;
-      case ServedBy::Memory: return config_.memory_latency;
-    }
-    ptm_panic("unreachable serving level");
-}
-
-AccessResult
-MemoryHierarchy::access(unsigned core, Addr paddr, AccessKind kind)
-{
-    if (core >= num_cores_)
-        ptm_panic("access from core %u of %u", core, num_cores_);
-
-    std::uint64_t line = line_number(paddr);
-    ServedBy served;
-
-    if (l1_[core]->access(line, kind)) {
-        served = ServedBy::L1;
-    } else if (l2_[core]->access(line, kind)) {
-        served = ServedBy::L2;
-        l1_[core]->fill(line);
-    } else if (llc_->access(line, kind)) {
-        served = ServedBy::Llc;
-        l2_[core]->fill(line);
-        l1_[core]->fill(line);
-    } else {
-        served = ServedBy::Memory;
-        llc_->fill(line);
-        l2_[core]->fill(line);
-        l1_[core]->fill(line);
-    }
-
-    Cycles latency = latency_of(served);
-    unsigned k = static_cast<unsigned>(kind);
-    stats_.served[k][static_cast<unsigned>(served)].inc();
-    stats_.accesses[k].inc();
-    stats_.cycles[k].inc(latency);
-    return {served, latency};
 }
 
 bool
 MemoryHierarchy::probe(unsigned core, Addr paddr) const
 {
     std::uint64_t line = line_number(paddr);
-    return l1_[core]->probe(line) || l2_[core]->probe(line) ||
-           llc_->probe(line);
+    return l1_[core].probe(line) || l2_[core].probe(line) ||
+           llc_.probe(line);
 }
 
 void
@@ -75,20 +31,20 @@ MemoryHierarchy::reset_stats()
 {
     stats_ = HierarchyStats{};
     for (unsigned c = 0; c < num_cores_; ++c) {
-        l1_[c]->reset_stats();
-        l2_[c]->reset_stats();
+        l1_[c].reset_stats();
+        l2_[c].reset_stats();
     }
-    llc_->reset_stats();
+    llc_.reset_stats();
 }
 
 void
 MemoryHierarchy::flush_all()
 {
     for (unsigned c = 0; c < num_cores_; ++c) {
-        l1_[c]->flush();
-        l2_[c]->flush();
+        l1_[c].flush();
+        l2_[c].flush();
     }
-    llc_->flush();
+    llc_.flush();
 }
 
 }  // namespace ptm::cache

@@ -7,15 +7,19 @@
  * access is tagged with an AccessKind so the hierarchy can answer the
  * paper's central question — from where are guest-PT vs host-PT accesses
  * served (§3.3, Tables 1 and 4).
+ *
+ * Caches are stored by value (no unique_ptr indirection) and the access
+ * cascade is inline: the whole per-access path from System::step down to
+ * the tag scan resolves without a virtual call or heap hop.
  */
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "cache/access.hpp"
 #include "cache/cache.hpp"
+#include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -66,10 +70,49 @@ class MemoryHierarchy {
      * Access physical address @p paddr from @p core.
      * @return the serving level and its latency.
      */
-    AccessResult access(unsigned core, Addr paddr, AccessKind kind);
+    AccessResult
+    access(unsigned core, Addr paddr, AccessKind kind)
+    {
+        if (core >= num_cores_)
+            ptm_panic("access from core %u of %u", core, num_cores_);
+
+        std::uint64_t line = line_number(paddr);
+        ServedBy served;
+
+        // Each level's miss installs the line during its own lookup
+        // (write-allocate in Cache::access), so the cascade itself
+        // performs the inclusive fill of every level on the path — no
+        // separate fill pass is needed.
+        if (l1_[core].access(line, kind)) {
+            served = ServedBy::L1;
+        } else if (l2_[core].access(line, kind)) {
+            served = ServedBy::L2;
+        } else if (llc_.access(line, kind)) {
+            served = ServedBy::Llc;
+        } else {
+            served = ServedBy::Memory;
+        }
+
+        Cycles latency = latency_of(served);
+        unsigned k = static_cast<unsigned>(kind);
+        stats_.served[k][static_cast<unsigned>(served)].inc();
+        stats_.accesses[k].inc();
+        stats_.cycles[k].inc(latency);
+        return {served, latency};
+    }
 
     /// Latency that an access served by @p level costs.
-    Cycles latency_of(ServedBy level) const;
+    Cycles
+    latency_of(ServedBy level) const
+    {
+        switch (level) {
+          case ServedBy::L1: return config_.l1_latency;
+          case ServedBy::L2: return config_.l2_latency;
+          case ServedBy::Llc: return config_.llc_latency;
+          case ServedBy::Memory: return config_.memory_latency;
+        }
+        ptm_panic("unreachable serving level");
+    }
 
     /// True if @p paddr currently hits anywhere in @p core's path.
     bool probe(unsigned core, Addr paddr) const;
@@ -80,9 +123,9 @@ class MemoryHierarchy {
     const HierarchyStats &stats() const { return stats_; }
     void reset_stats();
 
-    const Cache &l1(unsigned core) const { return *l1_[core]; }
-    const Cache &l2(unsigned core) const { return *l2_[core]; }
-    const Cache &llc() const { return *llc_; }
+    const Cache &l1(unsigned core) const { return l1_[core]; }
+    const Cache &l2(unsigned core) const { return l2_[core]; }
+    const Cache &llc() const { return llc_; }
 
     /// Drop all cached lines everywhere (e.g. between experiment phases).
     void flush_all();
@@ -90,9 +133,9 @@ class MemoryHierarchy {
   private:
     HierarchyConfig config_;
     unsigned num_cores_;
-    std::vector<std::unique_ptr<Cache>> l1_;
-    std::vector<std::unique_ptr<Cache>> l2_;
-    std::unique_ptr<Cache> llc_;
+    std::vector<Cache> l1_;
+    std::vector<Cache> l2_;
+    Cache llc_;
     HierarchyStats stats_;
 };
 

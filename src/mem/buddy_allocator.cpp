@@ -1,6 +1,7 @@
 #include "mem/buddy_allocator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.hpp"
 
@@ -12,6 +13,8 @@ BuddyAllocator::BuddyAllocator(std::uint64_t base_frame,
 {
     if (frame_count == 0)
         ptm_fatal("buddy allocator over an empty frame range");
+    allocated_order_.assign(frame_count_, kNoOrder);
+    free_order_.assign(frame_count_, kNoOrder);
 
     // Carve the range into maximal naturally-aligned free blocks.
     std::uint64_t offset = 0;
@@ -33,7 +36,8 @@ BuddyAllocator::push_free(std::uint64_t block, unsigned order)
 {
     auto &list = free_lists_[order];
     list.stack.push_back(block);
-    list.members.insert(block);
+    free_order_[index_of(block)] = static_cast<std::uint8_t>(order);
+    ++list.live;
 }
 
 void
@@ -49,7 +53,8 @@ BuddyAllocator::insert_free_block(std::uint64_t block, unsigned order)
     // emulated here by inserting at the beginning.
     auto &list = free_lists_[order];
     list.stack.insert(list.stack.begin(), block);
-    list.members.insert(block);
+    free_order_[index_of(block)] = static_cast<std::uint8_t>(order);
+    ++list.live;
 }
 
 std::optional<std::uint64_t>
@@ -59,9 +64,10 @@ BuddyAllocator::pop_free(unsigned order)
     while (!list.stack.empty()) {
         std::uint64_t block = list.stack.back();
         list.stack.pop_back();
-        auto it = list.members.find(block);
-        if (it != list.members.end()) {
-            list.members.erase(it);
+        std::uint8_t &state = free_order_[index_of(block)];
+        if (state == order) {
+            state = kNoOrder;
+            --list.live;
             return block;
         }
         // Stale entry: block was merged away by a coalesce; skip it.
@@ -72,11 +78,11 @@ BuddyAllocator::pop_free(unsigned order)
 bool
 BuddyAllocator::take_specific(std::uint64_t block, unsigned order)
 {
-    auto &list = free_lists_[order];
-    auto it = list.members.find(block);
-    if (it == list.members.end())
+    std::uint8_t &state = free_order_[index_of(block)];
+    if (state != order)
         return false;
-    list.members.erase(it);
+    state = kNoOrder;
+    --free_lists_[order].live;
     // The matching stack entry becomes stale and is skipped on pop.
     return true;
 }
@@ -110,7 +116,7 @@ BuddyAllocator::allocate(unsigned order)
         stats_.splits.inc();
     }
 
-    allocated_.emplace(*block, order);
+    allocated_order_[index_of(*block)] = static_cast<std::uint8_t>(order);
     free_frames_ -= std::uint64_t{1} << order;
     stats_.alloc_calls.inc();
     return block;
@@ -122,23 +128,24 @@ BuddyAllocator::allocate_split(unsigned order)
     std::optional<std::uint64_t> block = allocate(order);
     if (!block)
         return std::nullopt;
-    auto it = allocated_.find(*block);
-    ptm_assert(it != allocated_.end() && it->second == order);
-    allocated_.erase(it);
+    std::uint8_t &state = allocated_order_[index_of(*block)];
+    ptm_assert(state == order);
+    state = kNoOrder;
     for (std::uint64_t i = 0; i < (std::uint64_t{1} << order); ++i)
-        allocated_.emplace(*block + i, 0u);
+        allocated_order_[index_of(*block + i)] = 0;
     return block;
 }
 
 void
 BuddyAllocator::free(std::uint64_t base)
 {
-    auto it = allocated_.find(base);
-    if (it == allocated_.end())
+    if (base < base_frame_ || base >= base_frame_ + frame_count_ ||
+        allocated_order_[index_of(base)] == kNoOrder) {
         ptm_panic("free of frame %llu which is not a live block base",
                   static_cast<unsigned long long>(base));
-    unsigned order = it->second;
-    allocated_.erase(it);
+    }
+    unsigned order = allocated_order_[index_of(base)];
+    allocated_order_[index_of(base)] = kNoOrder;
 
     free_frames_ += std::uint64_t{1} << order;
     stats_.free_calls.inc();
@@ -168,7 +175,7 @@ bool
 BuddyAllocator::can_allocate(unsigned order) const
 {
     for (unsigned o = order; o <= kMaxOrder; ++o) {
-        if (!free_lists_[o].members.empty())
+        if (free_lists_[o].live != 0)
             return true;
     }
     return false;
@@ -177,35 +184,41 @@ BuddyAllocator::can_allocate(unsigned order) const
 std::size_t
 BuddyAllocator::free_blocks_at_order(unsigned order) const
 {
-    return free_lists_[order].members.size();
+    return static_cast<std::size_t>(free_lists_[order].live);
 }
 
 void
 BuddyAllocator::check_invariants() const
 {
     std::uint64_t counted_free = 0;
+    std::uint64_t live_seen[kMaxOrder + 1] = {};
     std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
 
-    for (unsigned order = 0; order <= kMaxOrder; ++order) {
-        for (std::uint64_t block : free_lists_[order].members) {
+    for (std::uint64_t idx = 0; idx < frame_count_; ++idx) {
+        std::uint64_t frame = base_frame_ + idx;
+        if (free_order_[idx] != kNoOrder) {
+            unsigned order = free_order_[idx];
             std::uint64_t size = std::uint64_t{1} << order;
-            if (block < base_frame_ ||
-                block + size > base_frame_ + frame_count_) {
+            if (order > kMaxOrder || frame + size > base_frame_ + frame_count_)
                 ptm_panic("free block out of range");
-            }
-            if (((block - base_frame_) & (size - 1)) != 0)
+            if ((idx & (size - 1)) != 0)
                 ptm_panic("free block misaligned for its order");
             counted_free += size;
-            ranges.emplace_back(block, block + size);
+            ++live_seen[order];
+            ranges.emplace_back(frame, frame + size);
         }
-    }
-    for (const auto &[base, order] : allocated_) {
-        std::uint64_t size = std::uint64_t{1} << order;
-        ranges.emplace_back(base, base + size);
-        (void)size;
+        if (allocated_order_[idx] != kNoOrder) {
+            std::uint64_t size = std::uint64_t{1}
+                                 << allocated_order_[idx];
+            ranges.emplace_back(frame, frame + size);
+        }
     }
     if (counted_free != free_frames_)
         ptm_panic("free-frame accounting mismatch");
+    for (unsigned order = 0; order <= kMaxOrder; ++order) {
+        if (live_seen[order] != free_lists_[order].live)
+            ptm_panic("free-list live count mismatch at order %u", order);
+    }
 
     std::sort(ranges.begin(), ranges.end());
     for (std::size_t i = 1; i < ranges.size(); ++i) {

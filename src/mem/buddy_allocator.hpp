@@ -17,8 +17,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -113,12 +111,16 @@ class BuddyAllocator {
     void check_invariants() const;
 
   private:
+    /// Sentinel for the per-frame order arrays: frame is not a block
+    /// base in that role.
+    static constexpr std::uint8_t kNoOrder = 0xFF;
+
     struct OrderList {
         // LIFO stack of block bases; entries may be stale (already merged
-        // away) and are skipped at pop time using `members` as the source
-        // of truth.
+        // away) and are skipped at pop time using the per-frame
+        // free_order_ array as the source of truth.
         std::vector<std::uint64_t> stack;
-        std::unordered_set<std::uint64_t> members;
+        std::uint64_t live = 0;  ///< blocks currently free at this order
     };
 
     void push_free(std::uint64_t block, unsigned order);
@@ -132,12 +134,21 @@ class BuddyAllocator {
                base_frame_;
     }
 
+    std::size_t index_of(std::uint64_t frame) const
+    {
+        return static_cast<std::size_t>(frame - base_frame_);
+    }
+
     std::uint64_t base_frame_;
     std::uint64_t frame_count_;
     std::uint64_t free_frames_ = 0;
     OrderList free_lists_[kMaxOrder + 1];
-    /// live allocated blocks: base frame -> order
-    std::unordered_map<std::uint64_t, unsigned> allocated_;
+    /// Per-frame bookkeeping, flat over [base_frame, base_frame+count):
+    /// order of the live allocated block based at this frame (kNoOrder
+    /// if none) / order of the free block based at this frame (kNoOrder
+    /// if none). A frame is never both at once.
+    std::vector<std::uint8_t> allocated_order_;
+    std::vector<std::uint8_t> free_order_;
     BuddyStats stats_;
 };
 

@@ -36,7 +36,7 @@ NestedWalker::host_translate(std::uint64_t gfn, TranslationResult &result)
     // (lazy allocation, §3.1), after which the walk restarts.
     stats_.host_walks.inc();
     for (unsigned attempt = 0; attempt < kMaxAttempts; ++attempt) {
-        std::array<pt::WalkStep, kPtLevels> steps;
+        std::array<pt::WalkStep, kPtLevels> &steps = host_steps_;
         unsigned n = host_.page_table->walk(gfn, steps);
         for (unsigned i = 0; i < n; ++i) {
             cache::AccessResult access = hierarchy_->access(
@@ -70,7 +70,7 @@ std::optional<std::uint64_t>
 NestedWalker::walk_guest_once(GuestContext &guest, std::uint64_t gvpn,
                               TranslationResult &result)
 {
-    std::array<pt::WalkStep, kPtLevels> steps;
+    std::array<pt::WalkStep, kPtLevels> &steps = guest_steps_;
     unsigned n = guest.page_table->walk(gvpn, steps);
 
     // The PWC can let the walker skip upper guest levels whose node it

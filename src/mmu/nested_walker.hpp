@@ -16,8 +16,8 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <optional>
 
 #include "cache/hierarchy.hpp"
@@ -35,20 +35,46 @@ struct FaultOutcome {
     Cycles cycles = 0;          ///< cost of the fault path
 };
 
+/**
+ * Non-owning page-fault callback: a plain function pointer plus a context
+ * pointer, bound once at system setup. Replaces std::function on the
+ * per-access hot path — no heap allocation, no type erasure, a single
+ * indirect call. The bound context must outlive the walker.
+ */
+class FaultHook {
+  public:
+    using Fn = FaultOutcome (*)(void *ctx, std::uint64_t id);
+
+    FaultHook() = default;
+    FaultHook(Fn fn, void *ctx) : fn_(fn), ctx_(ctx) {}
+
+    explicit operator bool() const { return fn_ != nullptr; }
+
+    FaultOutcome operator()(std::uint64_t id) const
+    {
+        return fn_(ctx_, id);
+    }
+
+  private:
+    Fn fn_ = nullptr;
+    void *ctx_ = nullptr;
+};
+
 /// The guest side of a translation: one process's page table plus its
 /// kernel's page-fault handler.
 struct GuestContext {
     pt::PageTable *page_table = nullptr;
-    /// Handle a guest page fault on @p gvpn; must install a mapping.
-    std::function<FaultOutcome(std::uint64_t gvpn)> fault_handler;
+    /// Handle a guest page fault on the faulting gvpn; must install a
+    /// mapping.
+    FaultHook fault_handler;
 };
 
 /// The host side: the VM's host page table (guest-physical ->
 /// host-physical) and the host kernel's lazy-backing fault handler.
 struct HostContext {
     pt::PageTable *page_table = nullptr;
-    /// Handle a host page fault on guest frame @p gfn.
-    std::function<FaultOutcome(std::uint64_t gfn)> fault_handler;
+    /// Handle a host page fault on the faulting guest frame number.
+    FaultHook fault_handler;
 };
 
 /// Everything a translation request reports back.
@@ -136,6 +162,12 @@ class NestedWalker {
     tlb::PageWalkCache pwc_;
     tlb::NestedTlb nested_tlb_;
     WalkerStats stats_;
+    // Reusable walk buffers: translate() is called once per simulated op,
+    // so the step arrays live here instead of being re-created per walk
+    // (guest and host walks overlap — host_translate runs mid guest
+    // walk — hence two buffers).
+    std::array<pt::WalkStep, kPtLevels> guest_steps_;
+    std::array<pt::WalkStep, kPtLevels> host_steps_;
 };
 
 }  // namespace ptm::mmu

@@ -38,8 +38,8 @@ PageTable::release_node(Node *node, unsigned level)
     if (node == nullptr)
         return;
     if (level + 1 < kPtLevels) {
-        for (auto &child : node->children)
-            release_node(child.get(), level + 1);
+        for (auto &slot : node->slots)
+            release_node(slot.child.get(), level + 1);
     }
     frames_.release(node->frame);
     --node_count_;
@@ -52,7 +52,7 @@ PageTable::descend(std::uint64_t vpn, unsigned to_level) const
     const Node *node = root_.get();
     for (unsigned level = 0; level < to_level; ++level) {
         unsigned index = index_at(vpn, level);
-        node = node->children[index].get();
+        node = node->slots[index].child.get();
         if (node == nullptr)
             return nullptr;
     }
@@ -65,21 +65,21 @@ PageTable::map(std::uint64_t vpn, const PteFields &fields)
     Node *node = root_.get();
     for (unsigned level = 0; level + 1 < kPtLevels; ++level) {
         unsigned index = index_at(vpn, level);
-        if (!node->children[index]) {
+        if (!node->slots[index].child) {
             std::unique_ptr<Node> child = make_node();
             if (!child)
                 return false;
             // Non-leaf entries point at the child node's frame.
-            node->entries[index] =
+            node->slots[index].pte =
                 Pte::encode({.present = true, .frame = child->frame});
-            node->children[index] = std::move(child);
+            node->slots[index].child = std::move(child);
         }
-        node = node->children[index].get();
+        node = node->slots[index].child.get();
     }
     unsigned leaf_index = index_at(vpn, kPtLevels - 1);
     PteFields with_present = fields;
     with_present.present = true;
-    node->entries[leaf_index] = Pte::encode(with_present);
+    node->slots[leaf_index].pte = Pte::encode(with_present);
     stats_.mappings.inc();
     return true;
 }
@@ -94,9 +94,9 @@ PageTable::unmap(std::uint64_t vpn)
     // const_cast-free path: redo the descent mutably.
     Node *mut = root_.get();
     for (unsigned level = 0; level + 1 < kPtLevels; ++level)
-        mut = mut->children[index_at(vpn, level)].get();
-    if (mut->entries[leaf_index].present()) {
-        mut->entries[leaf_index] = Pte{};
+        mut = mut->slots[index_at(vpn, level)].child.get();
+    if (mut->slots[leaf_index].pte.present()) {
+        mut->slots[leaf_index].pte = Pte{};
         stats_.unmappings.inc();
     }
 }
@@ -107,7 +107,7 @@ PageTable::lookup(std::uint64_t vpn) const
     const Node *node = descend(vpn, kPtLevels - 1);
     if (node == nullptr)
         return std::nullopt;
-    Pte pte = node->entries[index_at(vpn, kPtLevels - 1)];
+    Pte pte = node->slots[index_at(vpn, kPtLevels - 1)].pte;
     if (!pte.present())
         return std::nullopt;
     return pte;
@@ -118,13 +118,14 @@ PageTable::update(std::uint64_t vpn, const PteFields &fields)
 {
     Node *node = root_.get();
     for (unsigned level = 0; level + 1 < kPtLevels; ++level) {
-        node = node->children[index_at(vpn, level)].get();
+        node = node->slots[index_at(vpn, level)].child.get();
         if (node == nullptr)
             return false;
     }
     PteFields with_present = fields;
     with_present.present = true;
-    node->entries[index_at(vpn, kPtLevels - 1)] = Pte::encode(with_present);
+    node->slots[index_at(vpn, kPtLevels - 1)].pte =
+        Pte::encode(with_present);
     return true;
 }
 
@@ -136,16 +137,17 @@ PageTable::walk(std::uint64_t vpn,
     unsigned count = 0;
     for (unsigned level = 0; level < kPtLevels; ++level) {
         unsigned index = index_at(vpn, level);
+        const Slot &slot = node->slots[index];
         WalkStep &step = steps[count++];
         step.level = level;
         step.node_frame = node->frame;
         step.index = index;
         step.entry_paddr = node->frame * kPageSize + index * kPteSize;
-        step.pte = node->entries[index];
+        step.pte = slot.pte;
         if (!step.pte.present())
             break;
         if (level + 1 < kPtLevels) {
-            node = node->children[index].get();
+            node = slot.child.get();
             if (node == nullptr) {
                 // Present intermediate entry must have a child node.
                 ptm_panic("present non-leaf entry without child node");

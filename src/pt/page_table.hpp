@@ -116,11 +116,21 @@ class PageTable {
     }
 
   private:
+    struct Node;
+
+    /// One radix entry: the PTE together with (for non-leaf nodes) the
+    /// owning pointer to the child node. Keeping them adjacent means a
+    /// walk step reads the entry and follows the child from the same
+    /// host cache line, instead of hopping between two arrays 4 KiB
+    /// apart.
+    struct Slot {
+        Pte pte;
+        std::unique_ptr<Node> child;
+    };
+
     struct Node {
         std::uint64_t frame = 0;
-        std::array<Pte, kFanout> entries{};
-        /// Children, only populated on non-leaf nodes.
-        std::array<std::unique_ptr<Node>, kFanout> children{};
+        std::array<Slot, kFanout> slots{};
     };
 
     std::unique_ptr<Node> make_node();

@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include <memory>
@@ -31,6 +32,8 @@ constexpr std::uint64_t kReservationSampleOps = 64 * 1024;
 ScenarioResult
 run_scenario(const ScenarioConfig &config)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
+
     unsigned cores = 1;
     for (const CorunnerSpec &spec : config.corunners)
         cores += spec.workers;
@@ -149,6 +152,12 @@ run_scenario(const ScenarioConfig &config)
         result.buddy_calls =
             system.guest().buddy().stats().alloc_calls.value();
     }
+
+    result.total_ops = system.total_steps();
+    result.host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
     return result;
 }
 

@@ -161,6 +161,21 @@ struct ScenarioResult {
     std::uint64_t reservations_created = 0;
     std::uint64_t part_hits = 0;
     std::uint64_t buddy_calls = 0;
+
+    // ---- simulator-performance provenance (host-side, NOT simulated
+    // state: excluded from the determinism comparisons) ---------------
+    /// Host wall-clock seconds run_scenario took, warmup/init included.
+    double host_seconds = 0.0;
+    /// Simulated operations executed across all jobs, all phases.
+    std::uint64_t total_ops = 0;
+    /// Simulator throughput of this leg, in simulated ops per host second.
+    double
+    ops_per_second() const
+    {
+        return host_seconds > 0.0
+                   ? static_cast<double>(total_ops) / host_seconds
+                   : 0.0;
+    }
 };
 
 /// Execute one scenario start to finish.

@@ -313,6 +313,12 @@ to_json(const ScenarioResult &result)
     j.set("reservations_created", result.reservations_created);
     j.set("part_hits", result.part_hits);
     j.set("buddy_calls", result.buddy_calls);
+
+    Json perf = Json::object();
+    perf.set("host_seconds", result.host_seconds);
+    perf.set("total_ops", result.total_ops);
+    perf.set("ops_per_second", result.ops_per_second());
+    j.set("sim_perf", std::move(perf));
     return j;
 }
 
@@ -341,6 +347,10 @@ scenario_result_from_json(const Json &json)
         json.at("reservations_created").as_u64();
     result.part_hits = json.at("part_hits").as_u64();
     result.buddy_calls = json.at("buddy_calls").as_u64();
+
+    const Json &perf = json.at("sim_perf");
+    result.host_seconds = perf.at("host_seconds").as_double();
+    result.total_ops = perf.at("total_ops").as_u64();
     return result;
 }
 

@@ -66,10 +66,7 @@ System::System(const PlatformConfig &config, unsigned num_cores)
 
     host_ctx_ = mmu::HostContext{
         .page_table = &vm_->page_table(),
-        .fault_handler =
-            [this](std::uint64_t gfn) {
-                return host_->handle_fault(*vm_, gfn);
-            },
+        .fault_handler = mmu::FaultHook(&System::host_fault_thunk, this),
     };
 
     // Stale-translation shootdowns: drop the data-TLB entry on the core
@@ -122,14 +119,13 @@ System::make_job(vm::Process &process,
         ptm_fatal("more jobs than cores (%u)", hierarchy_->num_cores());
 
     auto job = std::make_unique<Job>(core, &process, std::move(workload));
+    job->system_ = this;
     job->walker_ = std::make_unique<mmu::NestedWalker>(
         core, config_.tlb, hierarchy_.get(), host_ctx_);
     job->guest_ctx_ = mmu::GuestContext{
         .page_table = &process.page_table(),
         .fault_handler =
-            [this, proc = &process](std::uint64_t gvpn) {
-                return guest_->handle_fault(*proc, gvpn);
-            },
+            mmu::FaultHook(&System::guest_fault_thunk, job.get()),
     };
     job->workload_ctx_ =
         std::make_unique<JobWorkloadContext>(this, job.get());
@@ -169,6 +165,7 @@ System::step(Job &job)
         hierarchy_->access(job.core_, hpa, cache::AccessKind::Data);
     cycles += data.latency;
 
+    ++total_steps_;
     job.counters_.ops.inc();
     job.counters_.cycles.inc(cycles);
     job.counters_.data_accesses.inc();
@@ -177,25 +174,18 @@ System::step(Job &job)
         job.counters_.data_mem_accesses.inc();
 }
 
-void
-System::run_until(const std::function<bool()> &stop)
+mmu::FaultOutcome
+System::host_fault_thunk(void *ctx, std::uint64_t gfn)
 {
-    while (!stop()) {
-        bool any_alive = false;
-        for (auto &job : jobs_) {
-            if (job->finished_ || job->paused_)
-                continue;
-            any_alive = true;
-            for (unsigned i = 0;
-                 i < config_.slice_ops && !job->finished_; ++i) {
-                step(*job);
-            }
-            if (stop())
-                return;
-        }
-        if (!any_alive)
-            return;
-    }
+    auto *system = static_cast<System *>(ctx);
+    return system->host_->handle_fault(*system->vm_, gfn);
+}
+
+mmu::FaultOutcome
+System::guest_fault_thunk(void *ctx, std::uint64_t gvpn)
+{
+    auto *job = static_cast<Job *>(ctx);
+    return job->system_->guest_->handle_fault(*job->process_, gvpn);
 }
 
 void

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +34,8 @@ struct JobCounters {
     Counter data_mem_accesses;  ///< data accesses served by main memory
     Counter data_cycles;
 };
+
+class System;
 
 /**
  * One colocated application: a guest process driven by a workload on a
@@ -64,6 +65,7 @@ class Job {
     friend class System;
 
     unsigned core_;
+    System *system_ = nullptr;
     vm::Process *process_;
     std::unique_ptr<workload::Workload> workload_;
     std::unique_ptr<mmu::NestedWalker> walker_;
@@ -113,9 +115,30 @@ class System {
     /**
      * Round-robin over non-paused, non-finished jobs in slices of
      * config.slice_ops until @p stop returns true (checked between
-     * slices) or every job finished.
+     * slices) or every job finished. Templated on the predicate so the
+     * per-slice stop check is a direct call, not a std::function hop.
      */
-    void run_until(const std::function<bool()> &stop);
+    template <typename Stop>
+    void
+    run_until(Stop &&stop)
+    {
+        while (!stop()) {
+            bool any_alive = false;
+            for (auto &job : jobs_) {
+                if (job->finished_ || job->paused_)
+                    continue;
+                any_alive = true;
+                for (unsigned i = 0;
+                     i < config_.slice_ops && !job->finished_; ++i) {
+                    step(*job);
+                }
+                if (stop())
+                    return;
+            }
+            if (!any_alive)
+                return;
+        }
+    }
 
     /// Run until @p job leaves its init phase (faulting in its data).
     void run_until_init_done(Job &job);
@@ -132,6 +155,11 @@ class System {
     cache::MemoryHierarchy &hierarchy() { return *hierarchy_; }
     const PlatformConfig &config() const { return config_; }
 
+    /// Operations executed across all jobs since construction. Unlike the
+    /// per-job counters this is never reset by reset_measurement(): it is
+    /// the denominator of the simulator-throughput metric.
+    std::uint64_t total_steps() const { return total_steps_; }
+
     std::vector<std::unique_ptr<Job>> &jobs() { return jobs_; }
 
     /// PTEMagnet provider, when enabled (nullptr otherwise).
@@ -143,6 +171,13 @@ class System {
     Job &make_job(vm::Process &process,
                   std::unique_ptr<workload::Workload> workload);
 
+    // FaultHook trampolines (bound once per system / per job; see
+    // mmu::FaultHook).
+    static mmu::FaultOutcome host_fault_thunk(void *ctx,
+                                              std::uint64_t gfn);
+    static mmu::FaultOutcome guest_fault_thunk(void *ctx,
+                                               std::uint64_t gvpn);
+
     PlatformConfig config_;
     Rng rng_;
     std::unique_ptr<host::HostKernel> host_;
@@ -152,6 +187,7 @@ class System {
     mmu::HostContext host_ctx_;
     std::vector<std::unique_ptr<Job>> jobs_;
     core::PtemagnetProvider *ptemagnet_ = nullptr;
+    std::uint64_t total_steps_ = 0;
 };
 
 }  // namespace ptm::sim

@@ -4,9 +4,16 @@
  *
  * The TLBs, page-walk caches, and the nested TLB are all instances of this
  * template; they differ only in what the 64-bit key and the value mean.
+ *
+ * Storage is structure-of-arrays — flat keys/stamps/valid/value arrays
+ * indexed by set*ways+way — so the hot lookup scans one contiguous run of
+ * keys instead of striding over full entry structs, and insert resolves
+ * existing-key / free-way / LRU-victim in a single pass over the set.
  */
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -53,19 +60,23 @@ class AssocCache {
         if ((num_sets_ & (num_sets_ - 1)) != 0)
             ptm_fatal("assoc-cache set count %u not a power of two",
                       num_sets_);
-        entries_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+        const std::size_t n = static_cast<std::size_t>(num_sets_) * ways_;
+        keys_.assign(n, 0);
+        stamps_.assign(n, 0);
+        valid_.assign(n, 0);
+        values_.resize(n);
     }
 
     /// Look up @p key, updating recency on hit.
     std::optional<Value>
     lookup(std::uint64_t key)
     {
-        Entry *set = set_of(key);
+        const std::size_t base = base_of(key);
         for (unsigned w = 0; w < ways_; ++w) {
-            if (set[w].valid && set[w].key == key) {
-                set[w].stamp = ++clock_;
+            if (valid_[base + w] != 0 && keys_[base + w] == key) {
+                stamps_[base + w] = ++clock_;
                 stats_.hits.inc();
-                return set[w].value;
+                return values_[base + w];
             }
         }
         stats_.misses.inc();
@@ -76,10 +87,10 @@ class AssocCache {
     std::optional<Value>
     probe(std::uint64_t key) const
     {
-        const Entry *set = set_of(key);
+        const std::size_t base = base_of(key);
         for (unsigned w = 0; w < ways_; ++w) {
-            if (set[w].valid && set[w].key == key)
-                return set[w].value;
+            if (valid_[base + w] != 0 && keys_[base + w] == key)
+                return values_[base + w];
         }
         return std::nullopt;
     }
@@ -88,44 +99,47 @@ class AssocCache {
     void
     insert(std::uint64_t key, const Value &value)
     {
-        Entry *set = set_of(key);
-        Entry *slot = nullptr;
+        const std::size_t base = base_of(key);
+        // One pass resolves all three candidates: an existing entry for
+        // the key, the first invalid way, and the LRU way (smallest
+        // stamp, lowest way on ties).
+        unsigned slot = ways_;
+        unsigned first_invalid = ways_;
+        unsigned lru = 0;
         for (unsigned w = 0; w < ways_; ++w) {
-            if (set[w].valid && set[w].key == key) {
-                slot = &set[w];
-                break;
-            }
-        }
-        if (slot == nullptr) {
-            for (unsigned w = 0; w < ways_; ++w) {
-                if (!set[w].valid) {
-                    slot = &set[w];
+            if (valid_[base + w] != 0) {
+                if (keys_[base + w] == key) {
+                    slot = w;
                     break;
                 }
+            } else if (first_invalid == ways_) {
+                first_invalid = w;
+            }
+            if (stamps_[base + w] < stamps_[base + lru])
+                lru = w;
+        }
+        if (slot == ways_) {
+            if (first_invalid != ways_) {
+                slot = first_invalid;
+            } else {
+                slot = lru;
+                stats_.evictions.inc();
             }
         }
-        if (slot == nullptr) {
-            slot = &set[0];
-            for (unsigned w = 1; w < ways_; ++w) {
-                if (set[w].stamp < slot->stamp)
-                    slot = &set[w];
-            }
-            stats_.evictions.inc();
-        }
-        slot->valid = true;
-        slot->key = key;
-        slot->value = value;
-        slot->stamp = ++clock_;
+        valid_[base + slot] = 1;
+        keys_[base + slot] = key;
+        values_[base + slot] = value;
+        stamps_[base + slot] = ++clock_;
     }
 
     /// Remove one key if present.
     void
     invalidate(std::uint64_t key)
     {
-        Entry *set = set_of(key);
+        const std::size_t base = base_of(key);
         for (unsigned w = 0; w < ways_; ++w) {
-            if (set[w].valid && set[w].key == key)
-                set[w].valid = false;
+            if (valid_[base + w] != 0 && keys_[base + w] == key)
+                valid_[base + w] = 0;
         }
     }
 
@@ -133,8 +147,8 @@ class AssocCache {
     void
     invalidate_all()
     {
-        for (Entry &e : entries_)
-            e.valid = false;
+        std::fill(valid_.begin(), valid_.end(),
+                  static_cast<std::uint8_t>(0));
     }
 
     unsigned capacity() const { return num_sets_ * ways_; }
@@ -146,34 +160,24 @@ class AssocCache {
     occupancy() const
     {
         unsigned n = 0;
-        for (const Entry &e : entries_) {
-            if (e.valid)
-                ++n;
-        }
+        for (std::uint8_t v : valid_)
+            n += v;
         return n;
     }
 
   private:
-    struct Entry {
-        std::uint64_t key = 0;
-        Value value{};
-        std::uint64_t stamp = 0;
-        bool valid = false;
-    };
-
-    Entry *set_of(std::uint64_t key)
+    std::size_t base_of(std::uint64_t key) const
     {
-        return &entries_[(key & (num_sets_ - 1)) * ways_];
-    }
-    const Entry *set_of(std::uint64_t key) const
-    {
-        return &entries_[(key & (num_sets_ - 1)) * ways_];
+        return static_cast<std::size_t>(key & (num_sets_ - 1)) * ways_;
     }
 
     unsigned ways_;
     unsigned num_sets_;
     std::uint64_t clock_ = 0;
-    std::vector<Entry> entries_;
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> stamps_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<Value> values_;
     AssocStats stats_;
 };
 

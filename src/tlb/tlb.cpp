@@ -8,32 +8,6 @@ TlbHierarchy::TlbHierarchy(const TlbConfig &config)
 {
 }
 
-TlbHierarchy::Result
-TlbHierarchy::lookup(std::uint64_t gvpn)
-{
-    if (std::optional<std::uint64_t> hfn = l1_.lookup(gvpn))
-        return {TlbLevel::L1, *hfn};
-    if (std::optional<std::uint64_t> hfn = l2_.lookup(gvpn)) {
-        l1_.insert(gvpn, *hfn);
-        return {TlbLevel::L2, *hfn};
-    }
-    return {TlbLevel::Miss, 0};
-}
-
-void
-TlbHierarchy::insert(std::uint64_t gvpn, std::uint64_t hfn)
-{
-    l1_.insert(gvpn, hfn);
-    l2_.insert(gvpn, hfn);
-}
-
-void
-TlbHierarchy::invalidate(std::uint64_t gvpn)
-{
-    l1_.invalidate(gvpn);
-    l2_.invalidate(gvpn);
-}
-
 void
 TlbHierarchy::flush()
 {
@@ -56,32 +30,6 @@ PageWalkCache::PageWalkCache(const TlbConfig &config)
 {
 }
 
-std::optional<PageWalkCache::Hit>
-PageWalkCache::lookup(std::uint64_t gvpn)
-{
-    if (!enabled_)
-        return std::nullopt;
-    // Deepest level first: a PDE hit skips the most walk steps.
-    for (unsigned level = kPtLevels - 2;; --level) {
-        if (std::optional<std::uint64_t> frame =
-                levels_[level].lookup(key_for(gvpn, level))) {
-            return Hit{level + 1, *frame};
-        }
-        if (level == 0)
-            break;
-    }
-    return std::nullopt;
-}
-
-void
-PageWalkCache::insert(std::uint64_t gvpn, unsigned level,
-                      std::uint64_t child_frame)
-{
-    if (!enabled_)
-        return;
-    levels_[level].insert(key_for(gvpn, level), child_frame);
-}
-
 void
 PageWalkCache::flush()
 {
@@ -93,22 +41,6 @@ NestedTlb::NestedTlb(const TlbConfig &config)
     : enabled_(config.nested_tlb_enabled),
       cache_(config.nested_entries, config.nested_ways)
 {
-}
-
-std::optional<std::uint64_t>
-NestedTlb::lookup(std::uint64_t gfn)
-{
-    if (!enabled_)
-        return std::nullopt;
-    return cache_.lookup(gfn);
-}
-
-void
-NestedTlb::insert(std::uint64_t gfn, std::uint64_t hfn)
-{
-    if (!enabled_)
-        return;
-    cache_.insert(gfn, hfn);
 }
 
 void

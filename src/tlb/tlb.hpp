@@ -50,13 +50,33 @@ class TlbHierarchy {
         TlbLevel level = TlbLevel::Miss;
         std::uint64_t hfn = 0;
     };
-    Result lookup(std::uint64_t gvpn);
+    Result
+    lookup(std::uint64_t gvpn)
+    {
+        if (std::optional<std::uint64_t> hfn = l1_.lookup(gvpn))
+            return {TlbLevel::L1, *hfn};
+        if (std::optional<std::uint64_t> hfn = l2_.lookup(gvpn)) {
+            l1_.insert(gvpn, *hfn);
+            return {TlbLevel::L2, *hfn};
+        }
+        return {TlbLevel::Miss, 0};
+    }
 
     /// Install a completed translation into both levels.
-    void insert(std::uint64_t gvpn, std::uint64_t hfn);
+    void
+    insert(std::uint64_t gvpn, std::uint64_t hfn)
+    {
+        l1_.insert(gvpn, hfn);
+        l2_.insert(gvpn, hfn);
+    }
 
     /// Remove a single translation (munmap / COW break).
-    void invalidate(std::uint64_t gvpn);
+    void
+    invalidate(std::uint64_t gvpn)
+    {
+        l1_.invalidate(gvpn);
+        l2_.invalidate(gvpn);
+    }
 
     /// Full flush (context switch; the sim does not model ASIDs).
     void flush();
@@ -90,12 +110,32 @@ class PageWalkCache {
         unsigned resume_level = 0;
         std::uint64_t node_frame = 0;
     };
-    std::optional<Hit> lookup(std::uint64_t gvpn);
+    std::optional<Hit>
+    lookup(std::uint64_t gvpn)
+    {
+        if (!enabled_)
+            return std::nullopt;
+        // Deepest level first: a PDE hit skips the most walk steps.
+        for (unsigned level = kPtLevels - 2;; --level) {
+            if (std::optional<std::uint64_t> frame =
+                    levels_[level].lookup(key_for(gvpn, level))) {
+                return Hit{level + 1, *frame};
+            }
+            if (level == 0)
+                break;
+        }
+        return std::nullopt;
+    }
 
     /// Record that the entry at @p level (0..2) for @p gvpn points at node
     /// frame @p child_frame.
-    void insert(std::uint64_t gvpn, unsigned level,
-                std::uint64_t child_frame);
+    void
+    insert(std::uint64_t gvpn, unsigned level, std::uint64_t child_frame)
+    {
+        if (!enabled_)
+            return;
+        levels_[level].insert(key_for(gvpn, level), child_frame);
+    }
 
     void flush();
     bool enabled() const { return enabled_; }
@@ -128,8 +168,22 @@ class NestedTlb {
   public:
     explicit NestedTlb(const TlbConfig &config);
 
-    std::optional<std::uint64_t> lookup(std::uint64_t gfn);
-    void insert(std::uint64_t gfn, std::uint64_t hfn);
+    std::optional<std::uint64_t>
+    lookup(std::uint64_t gfn)
+    {
+        if (!enabled_)
+            return std::nullopt;
+        return cache_.lookup(gfn);
+    }
+
+    void
+    insert(std::uint64_t gfn, std::uint64_t hfn)
+    {
+        if (!enabled_)
+            return;
+        cache_.insert(gfn, hfn);
+    }
+
     void invalidate(std::uint64_t gfn);
     void flush();
     bool enabled() const { return enabled_; }

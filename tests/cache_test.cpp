@@ -213,5 +213,167 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweep,
                                            ReplacementKind::TreePlru,
                                            ReplacementKind::Random));
 
+// ---------------------------------------------------------------------
+// Construction-time geometry validation: a malformed shape must die with
+// a clear message instead of mis-indexing silently.
+
+TEST(CacheDeathTest, ZeroWaysIsFatal)
+{
+    EXPECT_EXIT(Cache cache({"bad", 4096, 0, ReplacementKind::Lru}),
+                ::testing::ExitedWithCode(1), "zero ways");
+}
+
+TEST(CacheDeathTest, NonPowerOfTwoSetCountIsFatal)
+{
+    // 12 KiB, 4-way, 64B lines -> 48 sets.
+    EXPECT_EXIT(Cache cache({"bad", 12288, 4, ReplacementKind::Lru}),
+                ::testing::ExitedWithCode(1),
+                "not a nonzero power of two");
+}
+
+TEST(CacheDeathTest, ZeroSetsIsFatal)
+{
+    // 64 bytes across 4 ways: less than one full set.
+    EXPECT_EXIT(Cache cache({"bad", 64, 4, ReplacementKind::Lru}),
+                ::testing::ExitedWithCode(1),
+                "not a nonzero power of two");
+}
+
+TEST(CacheDeathTest, RandomReplacementWithoutRngIsFatal)
+{
+    EXPECT_EXIT(Cache cache({"bad", 4096, 4, ReplacementKind::Random}),
+                ::testing::ExitedWithCode(1), "needs an Rng");
+}
+
+// ---------------------------------------------------------------------
+// Reference-model comparison: the flattened Cache against the obvious
+// per-set implementation — a tag/valid pair per way plus one virtual
+// ReplacementPolicy object per set. Any divergence in hit/miss outcome
+// or eviction choice shows up as a mismatch on a randomized trace.
+
+class ReferenceCache {
+  public:
+    ReferenceCache(const CacheGeometry &geometry, Rng *rng)
+        : ways_(geometry.ways), num_sets_(geometry.num_sets())
+    {
+        while ((std::uint64_t{1} << set_shift_) < num_sets_)
+            ++set_shift_;
+        sets_.resize(num_sets_);
+        for (Set &set : sets_) {
+            set.tags.assign(ways_, 0);
+            set.valid.assign(ways_, false);
+            set.policy = make_replacement_policy(geometry.replacement,
+                                                 ways_, rng);
+        }
+    }
+
+    bool
+    access(std::uint64_t line)
+    {
+        Set &set = sets_[line & (num_sets_ - 1)];
+        const std::uint64_t tag = line >> set_shift_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (set.valid[w] && set.tags[w] == tag) {
+                set.policy->touch(w);
+                return true;
+            }
+        }
+        unsigned way = ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (!set.valid[w]) {
+                way = w;
+                break;
+            }
+        }
+        if (way == ways_)
+            way = set.policy->victim();
+        set.valid[way] = true;
+        set.tags[way] = tag;
+        set.policy->touch(way);
+        return false;
+    }
+
+    void
+    invalidate(std::uint64_t line)
+    {
+        Set &set = sets_[line & (num_sets_ - 1)];
+        const std::uint64_t tag = line >> set_shift_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (set.valid[w] && set.tags[w] == tag) {
+                set.valid[w] = false;
+                return;
+            }
+        }
+    }
+
+  private:
+    struct Set {
+        std::vector<std::uint64_t> tags;
+        std::vector<bool> valid;
+        std::unique_ptr<ReplacementPolicy> policy;
+    };
+
+    unsigned ways_;
+    std::uint64_t num_sets_;
+    unsigned set_shift_ = 0;
+    std::vector<Set> sets_;
+};
+
+class ReferenceSweep : public ::testing::TestWithParam<ReplacementKind> {};
+
+TEST_P(ReferenceSweep, RandomizedTraceMatchesReferenceModel)
+{
+    // 8 KiB, 4-way -> 32 sets, 128 lines; a 512-line trace keeps every
+    // set churning through evictions. A sprinkle of invalidations
+    // exercises the stale-tag and refill paths.
+    const CacheGeometry geometry{"t", 8192, 4, GetParam()};
+    Rng flat_rng(77);
+    Rng ref_rng(77);  // same seed: eviction draws must align one-to-one
+    Cache flat(geometry, &flat_rng);
+    ReferenceCache ref(geometry, &ref_rng);
+
+    Rng trace(1234);
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t line = trace.below(512);
+        if (trace.chance(0.02)) {
+            flat.invalidate(line);
+            ref.invalidate(line);
+            continue;
+        }
+        bool flat_hit = flat.access(line, AccessKind::Data);
+        bool ref_hit = ref.access(line);
+        ASSERT_EQ(flat_hit, ref_hit)
+            << replacement_kind_name(GetParam()) << " diverged at access "
+            << i << ", line " << line;
+        flat_hit ? ++hits : ++misses;
+    }
+    EXPECT_EQ(flat.stats().total_hits(), hits);
+    EXPECT_EQ(flat.stats().total_misses(), misses);
+    EXPECT_GT(hits, 0u);
+    EXPECT_GT(misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ReferenceSweep,
+                         ::testing::Values(ReplacementKind::Lru,
+                                           ReplacementKind::TreePlru,
+                                           ReplacementKind::Random));
+
+TEST(Cache, TreePlruNonPowerOfTwoWaysMatchesReference)
+{
+    // 6 ways rounds up to 8 PLRU leaves; the victim clamp must agree
+    // with the reference policy's.
+    const CacheGeometry geometry{"t", 6144, 6, ReplacementKind::TreePlru};
+    Cache flat(geometry);
+    ReferenceCache ref(geometry, nullptr);
+    Rng trace(5);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t line = trace.below(256);
+        ASSERT_EQ(flat.access(line, AccessKind::Data), ref.access(line))
+            << "diverged at access " << i << ", line " << line;
+    }
+}
+
 }  // namespace
 }  // namespace ptm::cache

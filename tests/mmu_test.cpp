@@ -34,6 +34,23 @@ class WalkerTest : public ::testing::Test {
         return config;
     }
 
+    // FaultHook is a non-owning fn-pointer + context, so the fixture
+    // provides static trampolines bound to itself (and, for guest
+    // faults, to the process under test).
+    static FaultOutcome
+    host_fault(void *ctx, std::uint64_t gfn)
+    {
+        auto *self = static_cast<WalkerTest *>(ctx);
+        return self->host_.handle_fault(self->vm_, gfn);
+    }
+
+    static FaultOutcome
+    guest_fault(void *ctx, std::uint64_t gvpn)
+    {
+        auto *self = static_cast<WalkerTest *>(ctx);
+        return self->guest_.handle_fault(*self->fault_proc_, gvpn);
+    }
+
     NestedWalker
     make_walker(tlb::TlbConfig config = {})
     {
@@ -41,22 +58,17 @@ class WalkerTest : public ::testing::Test {
             0, config, &hierarchy_,
             HostContext{
                 .page_table = &vm_.page_table(),
-                .fault_handler =
-                    [this](std::uint64_t gfn) {
-                        return host_.handle_fault(vm_, gfn);
-                    },
+                .fault_handler = FaultHook(&WalkerTest::host_fault, this),
             });
     }
 
     GuestContext
     guest_context(vm::Process &proc)
     {
+        fault_proc_ = &proc;
         return GuestContext{
             .page_table = &proc.page_table(),
-            .fault_handler =
-                [this, &proc](std::uint64_t gvpn) {
-                    return guest_.handle_fault(proc, gvpn);
-                },
+            .fault_handler = FaultHook(&WalkerTest::guest_fault, this),
         };
     }
 
@@ -64,6 +76,7 @@ class WalkerTest : public ::testing::Test {
     host::VmInstance &vm_;
     vm::GuestKernel guest_;
     cache::MemoryHierarchy hierarchy_;
+    vm::Process *fault_proc_ = nullptr;
 };
 
 TEST_F(WalkerTest, ColdTranslationFaultsAndResolves)

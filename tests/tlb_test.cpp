@@ -5,6 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "tlb/assoc_cache.hpp"
 #include "tlb/tlb.hpp"
 
@@ -55,6 +60,166 @@ TEST(AssocCache, InvalidateSingleAndAll)
     EXPECT_TRUE(cache.probe(2));
     cache.invalidate_all();
     EXPECT_EQ(cache.occupancy(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Construction-time geometry validation.
+
+TEST(AssocCacheDeathTest, ZeroWaysIsFatal)
+{
+    EXPECT_EXIT(AssocCache<int> cache(16, 0),
+                ::testing::ExitedWithCode(1), "bad assoc-cache shape");
+}
+
+TEST(AssocCacheDeathTest, ZeroEntriesIsFatal)
+{
+    EXPECT_EXIT(AssocCache<int> cache(0, 4),
+                ::testing::ExitedWithCode(1), "bad assoc-cache shape");
+}
+
+TEST(AssocCacheDeathTest, EntriesNotMultipleOfWaysIsFatal)
+{
+    EXPECT_EXIT(AssocCache<int> cache(10, 4),
+                ::testing::ExitedWithCode(1), "bad assoc-cache shape");
+}
+
+TEST(AssocCacheDeathTest, NonPowerOfTwoSetCountIsFatal)
+{
+    // 12 entries / 4 ways -> 3 sets.
+    EXPECT_EXIT(AssocCache<int> cache(12, 4),
+                ::testing::ExitedWithCode(1), "not a power of two");
+}
+
+// ---------------------------------------------------------------------
+// Reference-model comparison: the single-pass SoA insert/lookup against
+// the obvious per-set entry-struct implementation, on a randomized mix
+// of lookups, inserts, and invalidations.
+
+class ReferenceAssoc {
+  public:
+    ReferenceAssoc(unsigned entries, unsigned ways)
+        : ways_(ways), num_sets_(entries / ways), sets_(num_sets_)
+    {
+        for (auto &set : sets_)
+            set.resize(ways_);
+    }
+
+    std::optional<std::uint64_t>
+    lookup(std::uint64_t key)
+    {
+        auto &set = sets_[key & (num_sets_ - 1)];
+        for (Entry &e : set) {
+            if (e.valid && e.key == key) {
+                e.stamp = ++clock_;
+                ++hits_;
+                return e.value;
+            }
+        }
+        ++misses_;
+        return std::nullopt;
+    }
+
+    void
+    insert(std::uint64_t key, std::uint64_t value)
+    {
+        auto &set = sets_[key & (num_sets_ - 1)];
+        for (Entry &e : set) {
+            if (e.valid && e.key == key) {
+                e.value = value;
+                e.stamp = ++clock_;
+                return;
+            }
+        }
+        for (Entry &e : set) {
+            if (!e.valid) {
+                e = Entry{key, value, ++clock_, true};
+                return;
+            }
+        }
+        Entry *lru = &set[0];
+        for (Entry &e : set) {
+            if (e.stamp < lru->stamp)
+                lru = &e;
+        }
+        ++evictions_;
+        *lru = Entry{key, value, ++clock_, true};
+    }
+
+    void
+    invalidate(std::uint64_t key)
+    {
+        auto &set = sets_[key & (num_sets_ - 1)];
+        for (Entry &e : set) {
+            if (e.valid && e.key == key)
+                e.valid = false;
+        }
+    }
+
+    unsigned
+    occupancy() const
+    {
+        unsigned n = 0;
+        for (const auto &set : sets_) {
+            for (const Entry &e : set)
+                n += e.valid ? 1 : 0;
+        }
+        return n;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    struct Entry {
+        std::uint64_t key = 0;
+        std::uint64_t value = 0;
+        std::uint64_t stamp = 0;
+        bool valid = false;
+    };
+
+    unsigned ways_;
+    unsigned num_sets_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::vector<Entry>> sets_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+TEST(AssocCache, RandomizedTraceMatchesReferenceModel)
+{
+    // 64 entries, 4 ways -> 16 sets; a 256-key trace keeps sets full and
+    // evicting. Both models see the identical operation sequence.
+    AssocCache<std::uint64_t> flat(64, 4);
+    ReferenceAssoc ref(64, 4);
+
+    ptm::Rng trace(42);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t key = trace.below(256);
+        double roll = trace.uniform();
+        if (roll < 0.45) {
+            auto flat_v = flat.lookup(key);
+            auto ref_v = ref.lookup(key);
+            ASSERT_EQ(flat_v.has_value(), ref_v.has_value())
+                << "diverged at op " << i << ", key " << key;
+            if (flat_v) {
+                ASSERT_EQ(*flat_v, *ref_v) << "op " << i;
+            }
+        } else if (roll < 0.90) {
+            std::uint64_t value = key * 3 + 1;
+            flat.insert(key, value);
+            ref.insert(key, value);
+        } else {
+            flat.invalidate(key);
+            ref.invalidate(key);
+        }
+    }
+    EXPECT_EQ(flat.stats().hits.value(), ref.hits());
+    EXPECT_EQ(flat.stats().misses.value(), ref.misses());
+    EXPECT_EQ(flat.stats().evictions.value(), ref.evictions());
+    EXPECT_EQ(flat.occupancy(), ref.occupancy());
+    EXPECT_GT(ref.evictions(), 0u);
 }
 
 TlbConfig
