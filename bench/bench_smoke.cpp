@@ -49,13 +49,29 @@ main()
     suite.sweep("pagerank_tiny", "reservation_pages", {4, 8},
                 ScenarioConfig(tiny).with_ptemagnet(), RunKind::Single);
 
+    // Robustness leg 1: a periodic pressure plan must drive real
+    // reservation reclaim while the run still completes (fallback
+    // singles, not failed faults).
+    suite.add("pagerank_pressure",
+              ScenarioConfig(tiny).with_ptemagnet().with_fault_plan(
+                  FaultPlan{}.periodic_pressure(1'000)),
+              RunKind::Single);
+
+    // Robustness leg 2: a guest too small for the workload must fail as
+    // an isolated entry — recorded in the JSON, siblings unaffected,
+    // process exit still 0.
+    ScenarioConfig doomed = tiny;
+    doomed.corunners.clear();
+    doomed.platform.guest_frames = 512;
+    suite.add("pagerank_oom", doomed, RunKind::Single);
+
     SuiteOptions options;
     options.threads = 4;
     options.json_dir = ".";
     SuiteResult result = suite.run(options);
 
     check(result.threads() == 4, "suite ran on 4 threads");
-    check(result.entries().size() == 3, "3 scenarios executed");
+    check(result.entries().size() == 5, "5 scenarios executed");
     check(result.has("pagerank_tiny"), "paired entry present");
 
     const EntryResult &paired = result.at("pagerank_tiny");
@@ -69,6 +85,24 @@ main()
         result.at("pagerank_tiny/reservation_pages=8");
     check(swept.single.reservations_created > 0,
           "sweep leg ran under PTEMagnet");
+
+    const EntryResult &pressured = result.at("pagerank_pressure");
+    check(!pressured.failed(), "pressured run completed");
+    check(pressured.single.fault_plan_armed, "fault plan was armed");
+    check(pressured.single.reclaim_sweeps > 0, "pressure swept");
+    check(pressured.single.frames_reclaimed > 0,
+          "pressure reclaimed reservation frames");
+    check(pressured.single.oom_events == 0,
+          "reclaim degraded service without failing faults");
+    check(pressured.single.metrics.has("frames_reclaimed"),
+          "armed run exports robustness metrics");
+    check(!paired.paired.ptemagnet.metrics.has("frames_reclaimed"),
+          "unarmed run keeps the golden metric set");
+
+    const EntryResult &doomed_result = result.at("pagerank_oom");
+    check(doomed_result.failed(), "hopeless entry marked failed");
+    check(!doomed_result.error.empty(), "failure recorded its error");
+    check(doomed_result.attempts == 1, "no retries were configured");
 
     // The JSON sink must round-trip the whole result set.
     std::string path = "BENCH_smoke.json";
@@ -89,18 +123,43 @@ main()
     if (reread.is_object()) {
         check(reread.at("suite").as_string() == "smoke",
               "JSON names the suite");
-        check(reread.at("entries").as_array().size() == 3,
+        check(reread.at("entries").as_array().size() == 5,
               "JSON carries every entry");
         ScenarioResult baseline = scenario_result_from_json(
             reread.at("entries").as_array()[0].at("baseline"));
         check(baseline.victim_cycles ==
                   paired.paired.baseline.victim_cycles,
               "JSON round-trips victim_cycles");
+
+        // Per-entry status must land in the document, failed included.
+        for (const Json &e : reread.at("entries").as_array()) {
+            const std::string &name = e.at("name").as_string();
+            if (name == "pagerank_oom") {
+                check(e.at("status").as_string() == "failed",
+                      "JSON marks the failed entry");
+                check(e.contains("error"), "JSON carries the error");
+            } else {
+                check(e.at("status").as_string() == "ok",
+                      "JSON marks completed entries ok");
+            }
+        }
+        ScenarioResult rob = scenario_result_from_json(
+            reread.at("entries").as_array()[3].at("result"));
+        check(rob.frames_reclaimed ==
+                  pressured.single.frames_reclaimed,
+              "JSON round-trips robustness counters");
+    }
+    {
+        // The atomic writer must not leave its temp file behind.
+        FILE *tmp = std::fopen((path + ".tmp").c_str(), "rb");
+        check(tmp == nullptr, "no BENCH temp file left behind");
+        if (tmp != nullptr)
+            std::fclose(tmp);
     }
     std::remove(path.c_str());
 
     if (failures == 0)
-        std::printf("bench_smoke: OK (3 scenarios, 4 threads, JSON "
-                    "round-trip)\n");
+        std::printf("bench_smoke: OK (5 scenarios, 4 threads, failure "
+                    "isolation, JSON round-trip)\n");
     return failures == 0 ? 0 : 1;
 }

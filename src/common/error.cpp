@@ -1,0 +1,19 @@
+#include "common/error.hpp"
+
+#include <cstdarg>
+
+#include "common/log.hpp"
+
+namespace ptm {
+
+void
+throw_sim_error(const char *file, int line, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    throw SimError(strprintf("%s (%s:%d)", msg.c_str(), file, line));
+}
+
+}  // namespace ptm

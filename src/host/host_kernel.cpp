@@ -1,5 +1,6 @@
 #include "host/host_kernel.hpp"
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 
 namespace ptm::host {
@@ -60,8 +61,14 @@ HostKernel::handle_fault(VmInstance &vm, std::uint64_t gfn)
     if (!hfn)
         return {.ok = false};
 
-    if (!vm.page_table().map(gfn, {.writable = true, .frame = *hfn}))
-        ptm_fatal("host OOM while allocating host page-table nodes");
+    if (!vm.page_table().map(gfn, {.writable = true, .frame = *hfn})) {
+        // The data frame is allocated but cannot be mapped: give it back
+        // so a caller that survives the error sees consistent accounting.
+        buddy_.free(*hfn);
+        ptm_throw("host OOM while allocating host page-table nodes "
+                  "(vm %d, gfn %llu)", vm.id(),
+                  static_cast<unsigned long long>(gfn));
+    }
 
     memory_.set_use(*hfn, 1, mem::FrameUse::Data, vm.id());
     vm.note_backed();

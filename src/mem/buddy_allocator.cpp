@@ -93,6 +93,11 @@ BuddyAllocator::allocate(unsigned order)
     if (order > kMaxOrder)
         ptm_fatal("allocation order %u exceeds max %u", order, kMaxOrder);
 
+    if (gate_ != nullptr && gate_->deny(order)) {
+        stats_.failed_allocs.inc();
+        return std::nullopt;
+    }
+
     unsigned avail = order;
     std::optional<std::uint64_t> block;
     while (avail <= kMaxOrder) {
@@ -129,7 +134,9 @@ BuddyAllocator::allocate_split(unsigned order)
     if (!block)
         return std::nullopt;
     std::uint8_t &state = allocated_order_[index_of(*block)];
-    ptm_assert(state == order);
+    ptm_assert(state == order,
+               "block %llu allocated at order %u, expected %u",
+               static_cast<unsigned long long>(*block), state, order);
     state = kNoOrder;
     for (std::uint64_t i = 0; i < (std::uint64_t{1} << order); ++i)
         allocated_order_[index_of(*block + i)] = 0;

@@ -34,6 +34,20 @@ struct BuddyStats {
 };
 
 /**
+ * Failure-injection hook consulted before the free lists. When armed
+ * (sim::FaultInjector implements this), a deny() veto makes allocate()
+ * behave exactly as if no block of the requested order were free, so the
+ * caller's OOM/fallback path runs without the zone actually being empty.
+ * The unarmed cost is a single null-pointer check per allocation.
+ */
+class AllocGate {
+  public:
+    virtual ~AllocGate() = default;
+    /// True => refuse this allocation.
+    virtual bool deny(unsigned order) = 0;
+};
+
+/**
  * Binary buddy allocator. Frames are identified by plain frame numbers in
  * [base_frame, base_frame + frame_count); address-space tagging is done by
  * the owning kernel model.
@@ -104,6 +118,13 @@ class BuddyAllocator {
     const BuddyStats &stats() const { return stats_; }
 
     /**
+     * Arm (or with nullptr disarm) deterministic allocation-failure
+     * injection. The gate must outlive the allocator or be disarmed
+     * before it is destroyed; the allocator does not own it.
+     */
+    void set_alloc_gate(AllocGate *gate) { gate_ = gate; }
+
+    /**
      * Exhaustive internal consistency check (test hook): free blocks are
      * aligned, disjoint, in-range, and the frame accounting adds up.
      * Panics on violation.
@@ -150,6 +171,7 @@ class BuddyAllocator {
     std::vector<std::uint8_t> allocated_order_;
     std::vector<std::uint8_t> free_order_;
     BuddyStats stats_;
+    AllocGate *gate_ = nullptr;  ///< fault injection; normally unarmed
 };
 
 }  // namespace ptm::mem

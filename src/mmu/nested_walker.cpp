@@ -1,5 +1,6 @@
 #include "mmu/nested_walker.hpp"
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 
 namespace ptm::mmu {
@@ -58,7 +59,8 @@ NestedWalker::host_translate(std::uint64_t gfn, TranslationResult &result)
         FaultOutcome fault = host_.fault_handler(gfn);
         stats_.host_faults.inc();
         if (!fault.ok)
-            ptm_fatal("host kernel cannot back guest frame (host OOM)");
+            ptm_throw("host kernel cannot back guest frame %llu "
+                      "(host OOM)", static_cast<unsigned long long>(gfn));
         stats_.fault_cycles.inc(fault.cycles);
         result.cycles += fault.cycles;
         result.faulted = true;
@@ -108,8 +110,9 @@ NestedWalker::walk_guest_once(GuestContext &guest, std::uint64_t gvpn,
             FaultOutcome fault = guest.fault_handler(gvpn);
             stats_.guest_faults.inc();
             if (!fault.ok)
-                ptm_fatal("guest kernel cannot satisfy page fault "
-                          "(guest OOM)");
+                ptm_throw("guest kernel cannot satisfy page fault on "
+                          "gvpn %llu (guest OOM)",
+                          static_cast<unsigned long long>(gvpn));
             stats_.fault_cycles.inc(fault.cycles);
             result.cycles += fault.cycles;
             result.faulted = true;

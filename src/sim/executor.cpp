@@ -1,6 +1,7 @@
 #include "sim/executor.hpp"
 
 #include <cstdlib>
+#include <utility>
 
 #include "common/log.hpp"
 
@@ -57,6 +58,11 @@ ThreadPool::wait()
     std::unique_lock<std::mutex> lock(mutex_);
     idle_.wait(lock,
                [this]() { return queue_.empty() && in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr error = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 void
@@ -75,9 +81,16 @@ ThreadPool::worker_loop()
             queue_.pop_front();
             ++in_flight_;
         }
-        task();
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !first_error_)
+                first_error_ = error;
             --in_flight_;
             if (queue_.empty() && in_flight_ == 0)
                 idle_.notify_all();

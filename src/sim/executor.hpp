@@ -8,15 +8,19 @@
  * fixed-size worker set over a FIFO queue: submit() enqueues a task,
  * wait() blocks until the queue is drained and all workers are idle.
  *
- * Tasks must not throw (simulator errors go through ptm_fatal/ptm_panic,
- * which terminate); an escaped exception would std::terminate anyway
- * since workers are plain threads.
+ * Exception contract: a task that throws does NOT take the process (or
+ * the pool) down. The worker captures the exception, and the *first* one
+ * captured is rethrown from the next wait() on the submitting thread —
+ * after the queue has fully drained, so sibling tasks still run. Callers
+ * that want per-task isolation (ExperimentSuite) catch inside the task;
+ * the pool-level capture is the safety net for everything unexpected.
  */
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,7 +40,8 @@ class ThreadPool {
     /// Enqueue @p task for execution by any worker.
     void submit(std::function<void()> task);
 
-    /// Block until every submitted task has finished.
+    /// Block until every submitted task has finished. Rethrows the first
+    /// exception that escaped a task since the previous wait(), if any.
     void wait();
 
     unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
@@ -57,6 +62,7 @@ class ThreadPool {
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
     std::size_t in_flight_ = 0;            ///< tasks popped but unfinished
+    std::exception_ptr first_error_;       ///< first escaped task exception
     bool stopping_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include <memory>
+#include <optional>
 
 #include "common/log.hpp"
 #include "core/ptemagnet_provider.hpp"
@@ -40,7 +41,15 @@ run_scenario(const ScenarioConfig &config)
     PlatformConfig platform = config.platform;
     platform.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
 
+    // Declared before the System: the buddy allocators and guest kernel
+    // hold raw pointers into the injector, so it must be destroyed last.
+    std::optional<FaultInjector> injector;
+
     System system(platform, cores);
+    if (config.fault_plan.armed()) {
+        injector.emplace(config.fault_plan);
+        system.arm_fault_injection(*injector);
+    }
     switch (config.policy) {
       case PagePolicy::Buddy:
         break;
@@ -148,9 +157,34 @@ run_scenario(const ScenarioConfig &config)
             provider->stats().reservations_created.value();
         result.part_hits = provider->stats().part_hits.value();
         result.buddy_calls = provider->stats().buddy_calls.value();
+        result.fallback_singles =
+            provider->stats().fallback_singles.value();
     } else {
         result.buddy_calls =
             system.guest().buddy().stats().alloc_calls.value();
+    }
+
+    result.frames_reclaimed =
+        system.guest().stats().frames_reclaimed.value();
+    result.oom_events = system.guest().stats().oom_events.value();
+    if (injector) {
+        const InjectorStats &inj = injector->stats();
+        result.fault_plan_armed = true;
+        result.injected_denials = inj.injected_denials.value();
+        result.pressure_episodes = inj.pressure_episodes.value();
+        result.reclaim_sweeps = inj.reclaim_sweeps.value();
+        // Only armed runs grow the metric set: the golden snapshot (and
+        // its new-key guard) covers unarmed runs exactly as before.
+        result.metrics.set("injected_denials",
+                           static_cast<double>(result.injected_denials));
+        result.metrics.set("pressure_episodes",
+                           static_cast<double>(result.pressure_episodes));
+        result.metrics.set("reclaim_sweeps",
+                           static_cast<double>(result.reclaim_sweeps));
+        result.metrics.set("frames_reclaimed",
+                           static_cast<double>(result.frames_reclaimed));
+        result.metrics.set("fallback_singles",
+                           static_cast<double>(result.fallback_singles));
     }
 
     result.total_ops = system.total_steps();

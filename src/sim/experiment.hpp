@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "sim/fault_injection.hpp"
 #include "sim/metrics.hpp"
 #include "sim/platform.hpp"
 #include "sim/system.hpp"
@@ -68,6 +69,8 @@ struct ScenarioConfig {
     /// Measure from the first operation (includes the init phase); used
     /// by the §6.4 allocation-latency microbenchmark.
     bool measure_init = false;
+    /// Deterministic fault/pressure schedule; inert unless armed().
+    FaultPlan fault_plan;
     PlatformConfig platform;
 
     // ---- fluent setters --------------------------------------------
@@ -146,6 +149,12 @@ struct ScenarioConfig {
         measure_init = measure;
         return *this;
     }
+    ScenarioConfig &
+    with_fault_plan(FaultPlan plan)
+    {
+        fault_plan = std::move(plan);
+        return *this;
+    }
 };
 
 /// Everything a run reports.
@@ -161,6 +170,16 @@ struct ScenarioResult {
     std::uint64_t reservations_created = 0;
     std::uint64_t part_hits = 0;
     std::uint64_t buddy_calls = 0;
+
+    // ---- robustness telemetry (nonzero only under an armed FaultPlan
+    // or genuine memory exhaustion) -----------------------------------
+    bool fault_plan_armed = false;
+    std::uint64_t injected_denials = 0;   ///< buddy calls vetoed by plan
+    std::uint64_t pressure_episodes = 0;  ///< injected episodes opened
+    std::uint64_t reclaim_sweeps = 0;     ///< injected sweeps requested
+    std::uint64_t frames_reclaimed = 0;   ///< frames released by reclaim
+    std::uint64_t fallback_singles = 0;   ///< provider single-frame fallbacks
+    std::uint64_t oom_events = 0;         ///< unserviceable guest faults
 
     // ---- simulator-performance provenance (host-side, NOT simulated
     // state: excluded from the determinism comparisons) ---------------

@@ -1,0 +1,85 @@
+#include "sim/fault_injection.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ptm::sim {
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+    : plan_(plan), rng_(plan.seed),
+      rule_state_(plan.denials.size()),
+      episode_state_(plan.episodes.size())
+{
+    guest_gate_.owner = this;
+    guest_gate_.site = AllocSite::GuestBuddy;
+    host_gate_.owner = this;
+    host_gate_.site = AllocSite::HostBuddy;
+}
+
+bool
+FaultInjector::deny_alloc(AllocSite site, unsigned order)
+{
+    stats_.gate_calls.inc();
+    bool deny = false;
+    for (std::size_t i = 0; i < plan_.denials.size(); ++i) {
+        const AllocDenyRule &rule = plan_.denials[i];
+        if (rule.site != site)
+            continue;
+        if (rule.order != AllocDenyRule::kAnyOrder &&
+            static_cast<unsigned>(rule.order) != order)
+            continue;
+        RuleState &state = rule_state_[i];
+        std::uint64_t index = state.matched++;
+        if (rule.count > 0 && index >= rule.after &&
+            index < rule.after + rule.count) {
+            deny = true;
+        }
+        // Draw even when already denied so the RNG stream depends only on
+        // the sequence of matching calls, not on which rule fired first.
+        if (rule.probability > 0.0 && rng_.chance(rule.probability))
+            deny = true;
+    }
+    if (deny)
+        stats_.injected_denials.inc();
+    return deny;
+}
+
+std::uint64_t
+FaultInjector::pressure_tick()
+{
+    const std::uint64_t now = ++ticks_;
+    stats_.pressure_ticks.inc();
+
+    std::uint64_t target = 0;
+    for (std::size_t i = 0; i < plan_.episodes.size(); ++i) {
+        const PressureEpisode &episode = plan_.episodes[i];
+        EpisodeState &state = episode_state_[i];
+        if (state.done)
+            continue;
+
+        if (!state.open) {
+            if (now < episode.open_at_fault)
+                continue;
+            state.open = true;
+            state.opened_at = now;
+            stats_.pressure_episodes.inc();
+            stats_.reclaim_sweeps.inc();
+            target = std::max(target, episode.target_frames);
+            continue;
+        }
+
+        const std::uint64_t age = now - state.opened_at;
+        if (age >= episode.close_after) {
+            state.open = false;
+            state.done = true;
+            continue;
+        }
+        if (episode.sweep_period > 0 && age % episode.sweep_period == 0) {
+            stats_.reclaim_sweeps.inc();
+            target = std::max(target, episode.target_frames);
+        }
+    }
+    return target;
+}
+
+}  // namespace ptm::sim

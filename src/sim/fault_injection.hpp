@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Deterministic fault injection and memory-pressure episodes.
+ *
+ * The paper's robustness story (§4.3-§4.4) is that PTEMagnet *degrades
+ * gracefully*: an unavailable order-3 chunk falls back to single-frame
+ * allocation, and under memory pressure the kernel reclaims parked
+ * reservation frames. Neither path is reachable from a well-provisioned
+ * scenario, so this module makes them schedulable events:
+ *
+ * - a FaultPlan is a pure value describing *what* to inject: allocation
+ *   denials (per buddy site and order, windowed by call index or drawn
+ *   at a seeded probability) and memory-pressure episodes (opened and
+ *   closed at guest-fault counts, each sweep reclaiming reservation
+ *   frames through the provider);
+ * - a FaultInjector is the per-run state machine executing one plan. It
+ *   plugs into the simulated machine through two narrow hooks that cost
+ *   a single null check when unarmed: mem::AllocGate (consulted by
+ *   BuddyAllocator::allocate) and vm::PressureAgent (polled by
+ *   GuestKernel::check_memory_pressure).
+ *
+ * Determinism: the injector's randomness comes only from the plan's seed
+ * and the order of simulated events, both of which are fixed per run —
+ * so a plan yields bit-identical metrics across repeats and across
+ * ExperimentSuite thread counts.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "mem/buddy_allocator.hpp"
+#include "vm/guest_kernel.hpp"
+
+namespace ptm::sim {
+
+/// Which simulated buddy allocator a denial rule applies to.
+enum class AllocSite : std::uint8_t {
+    GuestBuddy,  ///< the guest kernel's zone (provider + PT nodes + COW)
+    HostBuddy,   ///< the host kernel's zone (VM backing + host PT nodes)
+};
+
+/**
+ * One deterministic allocation-denial rule. A buddy call matches when its
+ * site equals @p site and its order equals @p order (or @p order is
+ * kAnyOrder). Matching calls are denied while their per-rule match index
+ * falls inside [after, after + count), and additionally at @p probability
+ * via the injector's seeded RNG.
+ */
+struct AllocDenyRule {
+    static constexpr int kAnyOrder = -1;
+
+    AllocSite site = AllocSite::GuestBuddy;
+    int order = kAnyOrder;      ///< restrict to one order; -1 = any
+    std::uint64_t after = 0;    ///< match index opening the denial window
+    std::uint64_t count = 0;    ///< denials in the window (0 = no window)
+    double probability = 0.0;   ///< seeded per-match denial rate
+};
+
+/**
+ * One memory-pressure episode, in guest-fault time. The episode opens at
+ * the @p open_at_fault-th pressure check (one check per handled guest
+ * fault), immediately runs a reclaim sweep, repeats a sweep every
+ * @p sweep_period further checks while open, and closes @p close_after
+ * checks after opening.
+ */
+struct PressureEpisode {
+    std::uint64_t open_at_fault = 0;
+    std::uint64_t close_after = 1;
+    std::uint64_t sweep_period = 0;  ///< 0 = one sweep, at open only
+    /// Frames each sweep asks the provider to reclaim.
+    std::uint64_t target_frames = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// Counters the injector accumulates over a run (surfaced through
+/// sim/metrics when a plan is armed).
+struct InjectorStats {
+    Counter injected_denials;   ///< buddy calls vetoed by a rule
+    Counter pressure_episodes;  ///< episodes opened
+    Counter reclaim_sweeps;     ///< sweeps requested from the kernel
+    Counter gate_calls;         ///< buddy calls inspected
+    Counter pressure_ticks;     ///< pressure checks observed
+};
+
+/**
+ * The declarative injection schedule. A default-constructed plan is
+ * inert (armed() == false) and costs nothing at run time: run_scenario
+ * only builds an injector when armed() is true, and the unarmed hooks
+ * are null.
+ */
+struct FaultPlan {
+    std::uint64_t seed = 1;  ///< drives probabilistic denial draws only
+    std::vector<AllocDenyRule> denials;
+    std::vector<PressureEpisode> episodes;
+
+    bool
+    armed() const
+    {
+        return !denials.empty() || !episodes.empty();
+    }
+
+    // ---- fluent builders -------------------------------------------
+    FaultPlan &
+    with_seed(std::uint64_t s)
+    {
+        seed = s;
+        return *this;
+    }
+    /// Deny @p count guest-buddy calls at @p order starting from the
+    /// @p after-th matching call.
+    FaultPlan &
+    deny_guest(int order, std::uint64_t count,
+               std::uint64_t after = 0)
+    {
+        denials.push_back({AllocSite::GuestBuddy, order, after, count, 0.0});
+        return *this;
+    }
+    /// Deny matching guest-buddy calls at a seeded @p probability.
+    FaultPlan &
+    deny_guest_probability(int order, double probability)
+    {
+        denials.push_back(
+            {AllocSite::GuestBuddy, order, 0, 0, probability});
+        return *this;
+    }
+    /// Deny @p count host-buddy calls at @p order starting from the
+    /// @p after-th matching call.
+    FaultPlan &
+    deny_host(int order, std::uint64_t count, std::uint64_t after = 0)
+    {
+        denials.push_back({AllocSite::HostBuddy, order, after, count, 0.0});
+        return *this;
+    }
+    /// Append one pressure episode.
+    FaultPlan &
+    pressure(PressureEpisode episode)
+    {
+        episodes.push_back(episode);
+        return *this;
+    }
+
+    /**
+     * Standing pressure cadence: a sweep every @p every_faults handled
+     * guest faults for the rest of the run (the pressure_reclaim bench
+     * sweeps this knob as its intensity axis). @p every_faults == 0
+     * leaves the plan unchanged.
+     */
+    FaultPlan &
+    periodic_pressure(std::uint64_t every_faults)
+    {
+        if (every_faults > 0) {
+            episodes.push_back(
+                {.open_at_fault = every_faults,
+                 .close_after = std::numeric_limits<std::uint64_t>::max(),
+                 .sweep_period = every_faults});
+        }
+        return *this;
+    }
+};
+
+/**
+ * Per-run execution state of one FaultPlan. Construct, arm via
+ * System::arm_fault_injection (which hands the gates to both buddy
+ * allocators and the agent to the guest kernel), run the scenario, read
+ * stats(). Not thread-safe: one injector per System, like every other
+ * per-run structure.
+ */
+class FaultInjector final : public vm::PressureAgent {
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    /// mem::AllocGate for the guest kernel's buddy allocator.
+    mem::AllocGate *guest_gate() { return &guest_gate_; }
+    /// mem::AllocGate for the host kernel's buddy allocator.
+    mem::AllocGate *host_gate() { return &host_gate_; }
+
+    /// vm::PressureAgent: one call per guest pressure check; returns the
+    /// frame target of a due reclaim sweep, or 0.
+    std::uint64_t pressure_tick() override;
+
+    const InjectorStats &stats() const { return stats_; }
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    struct Gate final : mem::AllocGate {
+        FaultInjector *owner = nullptr;
+        AllocSite site = AllocSite::GuestBuddy;
+        bool
+        deny(unsigned order) override
+        {
+            return owner->deny_alloc(site, order);
+        }
+    };
+
+    struct RuleState {
+        std::uint64_t matched = 0;  ///< matching calls seen so far
+    };
+
+    struct EpisodeState {
+        bool open = false;
+        bool done = false;
+        std::uint64_t opened_at = 0;
+    };
+
+    bool deny_alloc(AllocSite site, unsigned order);
+
+    FaultPlan plan_;
+    Rng rng_;
+    Gate guest_gate_;
+    Gate host_gate_;
+    std::vector<RuleState> rule_state_;
+    std::vector<EpisodeState> episode_state_;
+    std::uint64_t ticks_ = 0;
+    InjectorStats stats_;
+};
+
+}  // namespace ptm::sim

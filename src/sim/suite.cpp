@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <utility>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 
 namespace ptm::sim {
@@ -26,6 +28,9 @@ apply_sweep_param(ScenarioConfig &config, const std::string &param,
         config.seed = static_cast<std::uint64_t>(value);
     else if (param == "corunner_warmup_ops")
         config.corunner_warmup_ops = static_cast<std::uint64_t>(value);
+    else if (param == "pressure_every")
+        config.fault_plan.periodic_pressure(
+            static_cast<std::uint64_t>(value));
     else
         ptm_fatal("unknown sweep parameter '%s'", param.c_str());
 }
@@ -68,10 +73,19 @@ SuiteResult::improvements() const
 {
     std::vector<double> percents;
     for (const EntryResult &entry : entries_) {
-        if (entry.is_paired())
+        if (entry.is_paired() && !entry.failed())
             percents.push_back(entry.improvement_percent());
     }
     return percents;
+}
+
+std::size_t
+SuiteResult::failed_count() const
+{
+    std::size_t n = 0;
+    for (const EntryResult &entry : entries_)
+        n += entry.failed() ? 1 : 0;
+    return n;
 }
 
 double
@@ -97,6 +111,10 @@ SuiteResult::to_json() const
             e.set("sweep_value", entry.entry.sweep_value);
         }
         e.set("config", sim::to_json(entry.entry.config));
+        e.set("status", entry.failed() ? "failed" : "ok");
+        e.set("attempts", entry.attempts);
+        if (entry.failed())
+            e.set("error", entry.error);
         if (entry.is_paired()) {
             e.set("baseline", sim::to_json(entry.paired.baseline));
             e.set("ptemagnet", sim::to_json(entry.paired.ptemagnet));
@@ -131,12 +149,25 @@ SuiteResult::write_json(const std::string &dir) const
             out_dir = ".";
     }
     std::string path = out_dir + "/BENCH_" + suite_name_ + ".json";
-    std::ofstream out(path);
-    if (!out)
-        ptm_fatal("cannot write '%s'", path.c_str());
-    out << to_json().dump(2) << '\n';
-    if (!out.good())
-        ptm_fatal("short write to '%s'", path.c_str());
+
+    // Write-then-rename so a crash (or concurrent reader) never sees a
+    // truncated BENCH file: the temp name stays in out_dir so the rename
+    // is within one filesystem and therefore atomic.
+    std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream out(tmp_path, std::ios::trunc);
+        if (!out)
+            ptm_fatal("cannot write '%s'", tmp_path.c_str());
+        out << to_json().dump(2) << '\n';
+        out.flush();
+        if (!out.good())
+            ptm_fatal("short write to '%s'", tmp_path.c_str());
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        ptm_fatal("cannot rename '%s' to '%s'", tmp_path.c_str(),
+                  path.c_str());
+    }
     return path;
 }
 
@@ -206,27 +237,68 @@ ExperimentSuite::run(const SuiteOptions &options) const
 
     {
         ThreadPool pool(threads);
+
+        // Entry bookkeeping (status / error / attempts) is shared by the
+        // two legs of a paired entry, which may fail concurrently.
+        std::mutex status_mutex;
+        const unsigned retries = options.retries;
+
+        // One leg: run (with retries) and store into its result slot; a
+        // SimError after the last attempt marks the whole entry Failed.
+        // Anything else — ptm_panic aborts, bad_alloc, logic errors —
+        // escapes to the pool and is rethrown from wait(): crash
+        // isolation covers *recoverable* per-run errors only.
+        auto run_leg = [&status_mutex, retries](EntryResult &slot,
+                                                ScenarioResult &out,
+                                                ScenarioConfig config) {
+            for (unsigned attempt = 0;; ++attempt) {
+                {
+                    std::lock_guard<std::mutex> lock(status_mutex);
+                    ++slot.attempts;
+                }
+                try {
+                    out = run_scenario(config);
+                    return;
+                } catch (const SimError &e) {
+                    if (attempt < retries)
+                        continue;
+                    std::lock_guard<std::mutex> lock(status_mutex);
+                    slot.status = EntryStatus::Failed;
+                    if (slot.error.empty())
+                        slot.error = e.what();
+                    return;
+                }
+            }
+        };
+
         for (EntryResult &slot : result.entries_) {
             if (slot.entry.kind == RunKind::Paired) {
                 // The two legs of a pair are independent runs too; the
                 // pool executes them concurrently, unlike run_paired.
-                pool.submit([&slot]() {
+                pool.submit([&run_leg, &slot]() {
                     ScenarioConfig config = slot.entry.config;
                     config.policy = PagePolicy::Buddy;
-                    slot.paired.baseline = run_scenario(config);
+                    run_leg(slot, slot.paired.baseline, std::move(config));
                 });
-                pool.submit([&slot]() {
+                pool.submit([&run_leg, &slot]() {
                     ScenarioConfig config = slot.entry.config;
                     config.policy = PagePolicy::Ptemagnet;
-                    slot.paired.ptemagnet = run_scenario(config);
+                    run_leg(slot, slot.paired.ptemagnet,
+                            std::move(config));
                 });
             } else {
-                pool.submit([&slot]() {
-                    slot.single = run_scenario(slot.entry.config);
+                pool.submit([&run_leg, &slot]() {
+                    run_leg(slot, slot.single, slot.entry.config);
                 });
             }
         }
         pool.wait();
+    }
+
+    if (options.announce && result.failed_count() > 0) {
+        std::fprintf(stderr, "[suite %s] %zu of %zu entries failed\n",
+                     name_.c_str(), result.failed_count(),
+                     result.entries_.size());
     }
 
     if (options.write_json) {
@@ -248,6 +320,11 @@ print_improvement_table(const SuiteResult &result, int name_width)
     for (const EntryResult &entry : result.entries()) {
         if (!entry.is_paired())
             continue;
+        if (entry.failed()) {
+            std::printf("%-*s %14s %14s %13s\n", name_width,
+                        entry.entry.name.c_str(), "-", "-", "FAILED");
+            continue;
+        }
         std::printf("%-*s %14llu %14llu %+12.1f%%\n", name_width,
                     entry.entry.name.c_str(),
                     static_cast<unsigned long long>(
@@ -314,6 +391,16 @@ to_json(const ScenarioResult &result)
     j.set("part_hits", result.part_hits);
     j.set("buddy_calls", result.buddy_calls);
 
+    Json rob = Json::object();
+    rob.set("fault_plan_armed", result.fault_plan_armed);
+    rob.set("injected_denials", result.injected_denials);
+    rob.set("pressure_episodes", result.pressure_episodes);
+    rob.set("reclaim_sweeps", result.reclaim_sweeps);
+    rob.set("frames_reclaimed", result.frames_reclaimed);
+    rob.set("fallback_singles", result.fallback_singles);
+    rob.set("oom_events", result.oom_events);
+    j.set("robustness", std::move(rob));
+
     Json perf = Json::object();
     perf.set("host_seconds", result.host_seconds);
     perf.set("total_ops", result.total_ops);
@@ -347,6 +434,18 @@ scenario_result_from_json(const Json &json)
         json.at("reservations_created").as_u64();
     result.part_hits = json.at("part_hits").as_u64();
     result.buddy_calls = json.at("buddy_calls").as_u64();
+
+    // Older BENCH files predate the robustness block; leave the zeros.
+    if (json.contains("robustness")) {
+        const Json &rob = json.at("robustness");
+        result.fault_plan_armed = rob.at("fault_plan_armed").as_bool();
+        result.injected_denials = rob.at("injected_denials").as_u64();
+        result.pressure_episodes = rob.at("pressure_episodes").as_u64();
+        result.reclaim_sweeps = rob.at("reclaim_sweeps").as_u64();
+        result.frames_reclaimed = rob.at("frames_reclaimed").as_u64();
+        result.fallback_singles = rob.at("fallback_singles").as_u64();
+        result.oom_events = rob.at("oom_events").as_u64();
+    }
 
     const Json &perf = json.at("sim_perf");
     result.host_seconds = perf.at("host_seconds").as_double();

@@ -53,13 +53,23 @@ struct SuiteEntry {
     double sweep_value = 0.0; ///< parameter value when part of a sweep
 };
 
+/// Terminal state of one entry after run().
+enum class EntryStatus {
+    Ok,      ///< every leg completed
+    Failed,  ///< a leg threw SimError (after exhausting retries)
+};
+
 /// Outcome of one entry; `single` or `paired` is filled per `kind`.
 struct EntryResult {
     SuiteEntry entry;
     ScenarioResult single;
     PairedResult paired;
+    EntryStatus status = EntryStatus::Ok;
+    std::string error;      ///< first SimError message when Failed
+    unsigned attempts = 0;  ///< run_scenario calls spent on this entry
 
     bool is_paired() const { return entry.kind == RunKind::Paired; }
+    bool failed() const { return status == EntryStatus::Failed; }
 
     /// The run of interest: the PTEMagnet leg of a pair, else the single
     /// run itself.
@@ -88,8 +98,11 @@ class SuiteResult {
     const EntryResult &at(const std::string &name) const;
     bool has(const std::string &name) const;
 
-    /// improvement_percent() of every Paired entry, in order.
+    /// improvement_percent() of every completed Paired entry, in order
+    /// (failed entries contribute nothing — see EntryStatus).
     std::vector<double> improvements() const;
+    /// Entries whose status is Failed.
+    std::size_t failed_count() const;
     /// The paper's "Geomean" bar over all Paired entries.
     double geomean() const;
 
@@ -98,7 +111,9 @@ class SuiteResult {
     /**
      * Write to_json() to `<dir>/BENCH_<suite>.json`. @p dir defaults to
      * $PTM_BENCH_DIR, falling back to the working directory. Returns the
-     * path written.
+     * path written. Crash-safe: the document is written to a temporary
+     * file and atomically renamed into place, so a reader (or a crash
+     * mid-write) never observes a truncated BENCH file.
      */
     std::string write_json(const std::string &dir = "") const;
 
@@ -117,6 +132,10 @@ struct SuiteOptions {
     bool write_json = true;      ///< emit BENCH_<suite>.json after the run
     std::string json_dir;        ///< see SuiteResult::write_json
     bool announce = true;        ///< one-line progress note on stderr
+    /// Extra run_scenario attempts per leg after a SimError before the
+    /// entry is marked Failed. Retries are deterministic re-runs: useful
+    /// when a probabilistic FaultPlan made the failure seed-dependent.
+    unsigned retries = 0;
 };
 
 class ExperimentSuite {
@@ -136,15 +155,24 @@ class ExperimentSuite {
      * Parameter sweep: register one entry per value, each a copy of
      * @p base with @p param set to the value, named
      * "<label>/<param>=<value>". Supported params: reservation_pages,
-     * scale, measure_ops, seed, corunner_warmup_ops; unknown names are
-     * fatal.
+     * scale, measure_ops, seed, corunner_warmup_ops, pressure_every
+     * (periodic FaultPlan pressure cadence in faults; 0 = unarmed);
+     * unknown names are fatal.
      */
     void sweep(const std::string &label, const std::string &param,
                const std::vector<double> &values, ScenarioConfig base,
                RunKind kind = RunKind::Paired);
 
-    /// Execute every registered scenario on a thread pool. Reentrant:
-    /// entries are not consumed, so a suite can be run repeatedly.
+    /**
+     * Execute every registered scenario on a thread pool. Reentrant:
+     * entries are not consumed, so a suite can be run repeatedly.
+     *
+     * Crash isolation: a leg that throws SimError is retried up to
+     * options.retries times, then its entry is marked EntryStatus::Failed
+     * with the error recorded — sibling entries run to completion
+     * unaffected and run() still returns (and writes JSON) normally.
+     * Only non-SimError exceptions (simulator bugs) propagate.
+     */
     SuiteResult run(const SuiteOptions &options = {}) const;
 
     const std::string &name() const { return name_; }

@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "core/ptemagnet_provider.hpp"
+#include "sim/fault_injection.hpp"
 
 namespace ptm::sim {
 
@@ -91,6 +92,14 @@ System::enable_ptemagnet(unsigned group_pages)
         guest_.get(), group_pages);
     ptemagnet_ = provider.get();
     guest_->set_provider(std::move(provider));
+}
+
+void
+System::arm_fault_injection(FaultInjector &injector)
+{
+    guest_->buddy().set_alloc_gate(injector.guest_gate());
+    host_->buddy().set_alloc_gate(injector.host_gate());
+    guest_->set_pressure_agent(&injector);
 }
 
 Job &

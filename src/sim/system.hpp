@@ -26,6 +26,8 @@ class PtemagnetProvider;
 
 namespace ptm::sim {
 
+class FaultInjector;
+
 /// Per-job measurement counters (reset at measurement start).
 struct JobCounters {
     Counter ops;
@@ -94,6 +96,14 @@ class System {
     /// @param group_pages reservation granularity (ablation knob).
     void enable_ptemagnet(unsigned group_pages = kPagesPerReservation);
     bool ptemagnet_enabled() const { return ptemagnet_ != nullptr; }
+
+    /**
+     * Arm deterministic fault injection: hand @p injector's gates to both
+     * buddy allocators and its pressure agent to the guest kernel. The
+     * injector must outlive this System (declare it first); without this
+     * call every hook stays null and the hot path is untouched.
+     */
+    void arm_fault_injection(FaultInjector &injector);
 
     /**
      * Add a job running @p workload; calls workload->setup() immediately

@@ -1,5 +1,6 @@
 #include "vm/guest_kernel.hpp"
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "vm/buddy_provider.hpp"
 
@@ -104,7 +105,8 @@ GuestKernel::handle_fault(Process &proc, std::uint64_t gvpn)
     }
 
     if (!proc.page_table().map(gvpn, {.writable = true, .frame = alloc.gfn}))
-        ptm_fatal("guest OOM while allocating page-table nodes");
+        ptm_throw("guest OOM while allocating page-table nodes for pid %d",
+                  proc.pid());
 
     memory_.set_use(alloc.gfn, 1, mem::FrameUse::Data, proc.pid());
     proc.add_rss(1);
@@ -152,8 +154,14 @@ GuestKernel::handle_write(Process &proc, std::uint64_t gvpn)
     if (shared->second == 1)
         shared_frames_.erase(shared);
     std::optional<std::uint64_t> copy = buddy_.allocate_frame();
-    if (!copy)
-        ptm_fatal("guest OOM on COW break");
+    if (!copy) {
+        // COW pages bypass the provider, but reclaim can still free
+        // parked reservation frames; try once before giving up.
+        check_memory_pressure();
+        copy = buddy_.allocate_frame();
+        if (!copy)
+            ptm_throw("guest OOM on COW break for pid %d", proc.pid());
+    }
     memory_.set_use(*copy, 1, mem::FrameUse::Data, proc.pid());
     proc.page_table().update(gvpn, {.writable = true, .frame = *copy});
     proc.add_rss(1);
@@ -178,7 +186,8 @@ GuestKernel::fork(Process &parent)
                 .writable = false, .cow = true, .frame = gfn};
             parent.page_table().update(vpn, shared_fields);
             if (!child.page_table().map(vpn, shared_fields))
-                ptm_fatal("guest OOM while forking page tables");
+                ptm_throw("guest OOM while forking page tables "
+                          "(pid %d -> %d)", parent.pid(), child.pid());
             child.add_rss(1);
             auto [it, inserted] = shared_frames_.emplace(gfn, 2);
             if (!inserted)
@@ -256,6 +265,15 @@ GuestKernel::exit_process(Process &proc)
 void
 GuestKernel::check_memory_pressure()
 {
+    // Injected pressure first: an armed FaultPlan opens episodes at
+    // deterministic fault counts regardless of the watermark state.
+    if (pressure_agent_ != nullptr) {
+        if (std::uint64_t target = pressure_agent_->pressure_tick()) {
+            stats_.reclaim_runs.inc();
+            stats_.frames_reclaimed.inc(provider_->reclaim(target));
+        }
+    }
+
     if (reclaim_policy_.low_watermark_frames == 0)
         return;
     if (buddy_.free_frames_count() >= reclaim_policy_.low_watermark_frames)

@@ -56,6 +56,21 @@ struct ReclaimPolicy {
     std::uint64_t high_watermark_frames = 0;  ///< reclaim up to this
 };
 
+/**
+ * External memory-pressure source (sim::FaultInjector implements this).
+ * The kernel polls it once per pressure check — i.e. per handled fault —
+ * and runs a provider reclaim sweep whenever it returns a nonzero frame
+ * target, independent of the watermark policy. This is how a deterministic
+ * FaultPlan opens the paper's §4.3 pressure episodes inside a run.
+ */
+class PressureAgent {
+  public:
+    virtual ~PressureAgent() = default;
+    /// Frames the kernel should try to reclaim right now (0 = no
+    /// pressure at this tick).
+    virtual std::uint64_t pressure_tick() = 0;
+};
+
 class GuestKernel {
   public:
     /**
@@ -121,6 +136,16 @@ class GuestKernel {
         reclaim_policy_ = policy;
     }
 
+    /**
+     * Arm (or with nullptr disarm) an injected memory-pressure source.
+     * The agent must outlive the kernel or be disarmed first; the kernel
+     * does not own it. Unarmed cost: one null check per pressure check.
+     */
+    void set_pressure_agent(PressureAgent *agent)
+    {
+        pressure_agent_ = agent;
+    }
+
     /// Run the reclamation check immediately (tests / daemon tick).
     void check_memory_pressure();
 
@@ -153,6 +178,7 @@ class GuestKernel {
     /// COW frame reference counts (only frames shared by >= 2 mappings).
     std::unordered_map<std::uint64_t, std::uint32_t> shared_frames_;
     ReclaimPolicy reclaim_policy_;
+    PressureAgent *pressure_agent_ = nullptr;  ///< normally unarmed
     GuestKernelStats stats_;
     std::int32_t next_pid_ = 1;
 };

@@ -1,5 +1,6 @@
 #include "vm/huge_page_provider.hpp"
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "vm/guest_kernel.hpp"
 
@@ -77,7 +78,10 @@ HugePageProvider::allocate_page(Process &proc, std::uint64_t gvpn)
         if (proc.vas().is_mapped(page) && !proc.page_table().lookup(page)) {
             if (!proc.page_table().map(
                     page, {.writable = true, .frame = *base + i}))
-                ptm_fatal("guest OOM while eagerly mapping a huge region");
+                ptm_throw("guest OOM while eagerly mapping huge region "
+                          "%llu for pid %d",
+                          static_cast<unsigned long long>(region),
+                          proc.pid());
             kernel_->memory().set_use(*base + i, 1, mem::FrameUse::Data,
                                       proc.pid());
             proc.add_rss(1);

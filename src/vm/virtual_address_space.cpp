@@ -42,7 +42,9 @@ VirtualAddressSpace::brk(Addr delta)
                          Vma{heap_begin_page_, heap_begin_page_ + pages});
     } else {
         auto it = regions_.find(heap_begin_page_);
-        ptm_assert(it != regions_.end());
+        ptm_assert(it != regions_.end(),
+                   "heap VMA at page %llu missing during brk growth",
+                   static_cast<unsigned long long>(heap_begin_page_));
         it->second.end_page += pages;
     }
     heap_end_page_ += pages;

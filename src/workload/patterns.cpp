@@ -9,7 +9,7 @@ namespace ptm::workload {
 MemOp
 SequentialPattern::next(Rng &rng)
 {
-    ptm_assert(region_.size > 0);
+    ptm_assert(region_.size > 0, "SequentialPattern over an empty region");
     MemOp op;
     op.gva = region_.base + cursor_;
     op.write = write_fraction_ > 0.0 && rng.chance(write_fraction_);
@@ -22,7 +22,7 @@ SequentialPattern::next(Rng &rng)
 MemOp
 RandomPattern::next(Rng &rng)
 {
-    ptm_assert(region_.size > 0);
+    ptm_assert(region_.size > 0, "RandomPattern over an empty region");
     MemOp op;
     // 8-byte aligned word somewhere in the region.
     op.gva = region_.base + (rng.below(region_.size / 8) * 8);
@@ -33,7 +33,7 @@ RandomPattern::next(Rng &rng)
 MemOp
 ClusteredPattern::next(Rng &rng)
 {
-    ptm_assert(region_.size > 0);
+    ptm_assert(region_.size > 0, "ClusteredPattern over an empty region");
     if (remaining_ == 0) {
         std::uint64_t clusters =
             std::max<std::uint64_t>(1, region_.size / cluster_bytes_);
@@ -63,7 +63,7 @@ ClusteredPattern::next(Rng &rng)
 MemOp
 PageSweepPattern::next(Rng &rng)
 {
-    ptm_assert(region_.size > 0);
+    ptm_assert(region_.size > 0, "PageSweepPattern over an empty region");
     std::uint64_t region_pages = region_.pages();
     unsigned window =
         static_cast<unsigned>(std::min<std::uint64_t>(window_pages_,

@@ -73,7 +73,9 @@ SyntheticWorkload::next_init_op()
 MemOp
 SyntheticWorkload::next_pattern_op()
 {
-    ptm_assert(!bindings_.empty());
+    ptm_assert(!bindings_.empty(),
+               "workload '%s' entered its access phase with no pattern "
+               "bindings", name_.c_str());
     double pick = rng_.uniform() * total_weight_;
     for (Binding &binding : bindings_) {
         pick -= binding.weight;

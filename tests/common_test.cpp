@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -164,6 +166,38 @@ TEST(Stats, MetricSetPercentChange)
 TEST(Log, Strprintf)
 {
     EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Error, PtmThrowFormatsMessageAndLocation)
+{
+    try {
+        ptm_throw("guest OOM while testing pid %d", 42);
+        FAIL() << "ptm_throw returned";
+    } catch (const SimError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("guest OOM while testing pid 42"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("common_test.cpp"), std::string::npos) << what;
+    }
+}
+
+TEST(Error, SimErrorIsARuntimeError)
+{
+    // Generic handlers (the suite driver's safety nets) must be able to
+    // catch it as std::exception.
+    EXPECT_THROW(ptm_throw("x"), std::runtime_error);
+}
+
+TEST(AssertDeathTest, MessageCarriesConditionAndContext)
+{
+    EXPECT_DEATH(ptm_assert(1 + 1 == 3, "while merging block %d", 9),
+                 "assertion failed: 1 \\+ 1 == 3: while merging block 9");
+}
+
+TEST(AssertDeathTest, BareAssertReportsCondition)
+{
+    EXPECT_DEATH(ptm_assert(false), "assertion failed: false");
 }
 
 }  // namespace

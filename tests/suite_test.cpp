@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/suite.hpp"
 
@@ -87,6 +88,30 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask)
     pool.submit([&count]() { count.fetch_add(1); });
     pool.wait();
     EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsCapturedNotTerminal)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(2);
+    pool.submit([]() { throw std::runtime_error("task exploded"); });
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&count]() { count.fetch_add(1); });
+
+    // Sibling tasks all ran; the first escaped exception surfaces from
+    // wait() instead of std::terminate-ing the worker.
+    try {
+        pool.wait();
+        FAIL() << "wait() swallowed the task exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task exploded");
+    }
+    EXPECT_EQ(count.load(), 20);
+
+    // The error slot is cleared: the pool remains usable afterwards.
+    pool.submit([&count]() { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 21);
 }
 
 // ---- suite fixtures ---------------------------------------------------
