@@ -99,6 +99,24 @@ main()
     check(!paired.paired.ptemagnet.metrics.has("frames_reclaimed"),
           "unarmed run keeps the golden metric set");
 
+    // Observability: every completed run exports the full registry
+    // snapshot — component counters plus walk-latency percentiles.
+    const ScenarioResult &base = paired.paired.baseline;
+    check(!base.stats.empty(), "result carries a stats snapshot");
+    check(base.stats.has("vm0.core0.job.ops"),
+          "stats cover the job counters");
+    check(base.stats.has("vm0.hier.llc.hits.data"),
+          "stats cover the cache hierarchy");
+    check(base.stats.has("vm0.core0.l2tlb.misses"),
+          "stats cover the TLBs");
+    check(base.stats.has("vm0.buddy.alloc_calls"),
+          "stats cover the buddy allocator");
+    check(base.stats.has("host.kernel.pages_backed"),
+          "stats cover the host kernel");
+    check(base.stats.histogram("vm0.core0.walker.walk_cycles_hist").p50 >
+              0,
+          "walk-latency p50 recorded");
+
     const EntryResult &doomed_result = result.at("pagerank_oom");
     check(doomed_result.failed(), "hopeless entry marked failed");
     check(!doomed_result.error.empty(), "failure recorded its error");
@@ -130,6 +148,15 @@ main()
         check(baseline.victim_cycles ==
                   paired.paired.baseline.victim_cycles,
               "JSON round-trips victim_cycles");
+        check(baseline.stats.value("vm0.core0.job.ops") ==
+                  base.stats.value("vm0.core0.job.ops"),
+              "JSON round-trips the stats block");
+        check(baseline.stats
+                      .histogram("vm0.core0.walker.walk_cycles_hist")
+                      .p99 ==
+                  base.stats.histogram("vm0.core0.walker.walk_cycles_hist")
+                      .p99,
+              "JSON round-trips histogram summaries");
 
         // Per-entry status must land in the document, failed included.
         for (const Json &e : reread.at("entries").as_array()) {

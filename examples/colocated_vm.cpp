@@ -66,11 +66,11 @@ run(bool use_ptemagnet)
                                               system.vm())
                        .average_hpte_lines;
     outcome.cycles_per_op =
-        static_cast<double>(victim.counters().cycles.value()) /
-        static_cast<double>(victim.counters().ops.value());
+        static_cast<double>(victim.stats().cycles.value()) /
+        static_cast<double>(victim.stats().ops.value());
     outcome.walk_share =
         static_cast<double>(victim.walker().stats().walk_cycles.value()) /
-        static_cast<double>(victim.counters().cycles.value());
+        static_cast<double>(victim.stats().cycles.value());
     outcome.buddy_calls =
         system.guest().buddy().stats().alloc_calls.value();
     return outcome;

@@ -94,6 +94,19 @@ Cache::flush()
     std::fill(live_.begin(), live_.end(), 0u);
 }
 
+void
+Cache::register_stats(obs::StatRegistry &registry,
+                      const std::string &prefix, obs::ResetScope scope)
+{
+    for (unsigned k = 0; k < kAccessKindCount; ++k) {
+        const std::string kind =
+            access_kind_name(static_cast<AccessKind>(k));
+        registry.counter(prefix + ".hits." + kind, &stats_.hits[k], scope);
+        registry.counter(prefix + ".misses." + kind, &stats_.misses[k],
+                         scope);
+    }
+}
+
 std::uint64_t
 Cache::resident_lines() const
 {

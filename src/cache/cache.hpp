@@ -25,6 +25,7 @@
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/stat_registry.hpp"
 
 namespace ptm::cache {
 
@@ -117,6 +118,12 @@ class Cache {
     const CacheGeometry &geometry() const { return geometry_; }
     const CacheStats &stats() const { return stats_; }
     void reset_stats() { stats_ = CacheStats{}; }
+
+    /// Register per-kind hit/miss counters under
+    /// "<prefix>.hits.<kind>" / "<prefix>.misses.<kind>".
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix,
+                        obs::ResetScope scope = obs::ResetScope::Lifetime);
 
     /// Number of valid lines currently resident (metric/test hook).
     std::uint64_t resident_lines() const;

@@ -38,6 +38,30 @@ MemoryHierarchy::reset_stats()
 }
 
 void
+MemoryHierarchy::register_stats(obs::StatRegistry &registry,
+                                const std::string &prefix)
+{
+    const obs::ResetScope scope = obs::ResetScope::Measurement;
+    for (unsigned k = 0; k < kAccessKindCount; ++k) {
+        const std::string kind =
+            prefix + '.' + access_kind_name(static_cast<AccessKind>(k));
+        for (unsigned s = 0; s < kServedByCount; ++s)
+            registry.counter(
+                kind + ".served." + served_by_name(static_cast<ServedBy>(s)),
+                &stats_.served[k][s], scope);
+        registry.counter(kind + ".accesses", &stats_.accesses[k], scope);
+        registry.counter(kind + ".cycles", &stats_.cycles[k], scope);
+    }
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        l1_[c].register_stats(registry,
+                              prefix + ".l1_" + std::to_string(c), scope);
+        l2_[c].register_stats(registry,
+                              prefix + ".l2_" + std::to_string(c), scope);
+    }
+    llc_.register_stats(registry, prefix + ".llc", scope);
+}
+
+void
 MemoryHierarchy::flush_all()
 {
     for (unsigned c = 0; c < num_cores_; ++c) {

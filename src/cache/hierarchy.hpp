@@ -123,6 +123,14 @@ class MemoryHierarchy {
     const HierarchyStats &stats() const { return stats_; }
     void reset_stats();
 
+    /// Register the served-by matrix plus every cache's per-kind counters:
+    /// "<prefix>.<kind>.served.<level>", "<prefix>.<kind>.accesses",
+    /// "<prefix>.<kind>.cycles", "<prefix>.l1_<core>.*", ".l2_<core>.*",
+    /// ".llc.*". All Measurement-scoped: the hierarchy is reset between
+    /// the init and measure phases of a scenario.
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix);
+
     const Cache &l1(unsigned core) const { return l1_[core]; }
     const Cache &l2(unsigned core) const { return l2_[core]; }
     const Cache &llc() const { return llc_; }

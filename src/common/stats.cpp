@@ -1,8 +1,94 @@
 #include "common/stats.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
 #include "common/log.hpp"
 
 namespace ptm {
+
+Histogram::Histogram(BucketPolicy policy, std::size_t buckets)
+    : policy_(policy)
+{
+    if (buckets == 0) {
+        if (policy_ == BucketPolicy::Linear)
+            ptm_fatal("linear histogram needs an explicit bucket count");
+        buckets = kLog2Buckets;
+    }
+    buckets_.assign(buckets, 0);
+}
+
+std::uint64_t
+Histogram::bucket_lower(std::size_t i) const
+{
+    if (i >= buckets_.size())
+        ptm_fatal("histogram bucket %zu out of %zu", i, buckets_.size());
+    if (policy_ == BucketPolicy::Linear)
+        return i;
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t
+Histogram::bucket_upper(std::size_t i) const
+{
+    if (i >= buckets_.size())
+        ptm_fatal("histogram bucket %zu out of %zu", i, buckets_.size());
+    constexpr std::uint64_t kMaxU64 =
+        std::numeric_limits<std::uint64_t>::max();
+    // The last bucket absorbs everything bucket_index() clamps into it.
+    if (i == buckets_.size() - 1)
+        return kMaxU64;
+    if (policy_ == BucketPolicy::Linear)
+        return i;
+    if (i == 0)
+        return 0;
+    return i >= 64 ? kMaxU64 : (std::uint64_t{1} << i) - 1;
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (q < 0.0 || q > 100.0)
+        ptm_fatal("percentile %g outside [0, 100]", q);
+    if (count_ == 0)
+        return 0;
+
+    // 1-based rank of the requested sample in sorted order.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q / 100.0 * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= rank)
+            return std::min(bucket_upper(i), max_);
+    }
+    return max_;  // unreachable: cumulative == count_ after the loop
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (policy_ != other.policy_ ||
+        buckets_.size() != other.buckets_.size()) {
+        ptm_fatal("merging histograms of different shape "
+                  "(%zu vs %zu buckets)",
+                  buckets_.size(), other.buckets_.size());
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (other.count_ != 0) {
+        min_ = count_ ? std::min(min_, other.min_) : other.min_;
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
 
 double
 MetricSet::get(const std::string &name) const
@@ -24,6 +110,32 @@ MetricSet::percent_change_from(const MetricSet &baseline) const
         out.set(name, b == 0.0 ? 0.0 : 100.0 * (v - b) / b);
     }
     return out;
+}
+
+void
+MetricSet::print(const std::string &title) const
+{
+    std::printf("%s\n", title.c_str());
+    for (const auto &[name, value] : values_)
+        std::printf("  %-28s %.4g\n", name.c_str(), value);
+}
+
+void
+MetricSet::print_change_table(const MetricSet &baseline,
+                              const MetricSet &experiment,
+                              const std::string &title)
+{
+    std::printf("%s\n", title.c_str());
+    std::printf("  %-28s %12s %12s %9s\n", "metric", "baseline",
+                "experiment", "change");
+    MetricSet delta = experiment.percent_change_from(baseline);
+    for (const auto &[name, value] : baseline.values()) {
+        if (!experiment.has(name))
+            continue;
+        std::printf("  %-28s %12.4g %12.4g %+8.1f%%\n", name.c_str(),
+                    value, experiment.get(name),
+                    delta.has(name) ? delta.get(name) : 0.0);
+    }
 }
 
 }  // namespace ptm

@@ -2,12 +2,15 @@
  * @file
  * Lightweight statistics primitives.
  *
- * Subsystems expose plain structs of Counter/Average members; the sim layer
- * snapshots and diffs them to produce perf-style deltas, so counters must be
- * cheap (single u64 increment) and copyable.
+ * Subsystems expose plain structs of Counter/Histogram members; the
+ * observability layer (obs::StatRegistry) aggregates them by non-owning
+ * pointer, so the primitives must be cheap on the hot path (a single u64
+ * increment / a bucket increment), copyable, and resettable in place.
  */
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -51,27 +54,119 @@ class Average {
     std::uint64_t count_ = 0;
 };
 
-/// Fixed-bucket histogram for distribution-shaped stats (e.g. walk length).
+/// How a Histogram maps a recorded value to a bucket.
+enum class BucketPolicy : std::uint8_t {
+    /// Bucket i holds values whose bit width is i (bucket 0 <=> value 0,
+    /// bucket i <=> [2^(i-1), 2^i)). Covers the full u64 range in 65
+    /// buckets; the right shape for latencies spanning orders of
+    /// magnitude (a cache hit vs a faulting 2D walk).
+    Log2,
+    /// Bucket i holds exactly the value i; the last bucket clamps
+    /// overflow. For small enumerable quantities (PT level, split depth).
+    Linear,
+};
+
+/**
+ * Bucketed distribution of u64 samples with percentile accessors.
+ *
+ * record() is hot-path safe: one bucket increment plus min/max/sum
+ * bookkeeping, no allocation. Percentiles are resolved at read time by a
+ * cumulative scan; the returned value is the upper bound of the bucket
+ * containing the requested rank, tightened to the observed maximum — for
+ * Linear histograms (and single-valued buckets) that is exact.
+ */
 class Histogram {
   public:
-    explicit Histogram(std::size_t buckets = 16) : buckets_(buckets, 0) {}
+    /// Buckets needed for a full-range Log2 histogram (bit widths 0..64).
+    static constexpr std::size_t kLog2Buckets = 65;
 
+    /// Full-range Log2 histogram (the default shape for latencies).
+    Histogram() : Histogram(BucketPolicy::Log2, 0) {}
+
+    /**
+     * @param policy  bucketing rule.
+     * @param buckets bucket count; 0 means the policy default (65 for
+     *                Log2; Linear has no default and requires an
+     *                explicit count).
+     */
+    explicit Histogram(BucketPolicy policy, std::size_t buckets = 0);
+
+    /// Record one sample.
     void
-    sample(std::size_t bucket)
+    record(std::uint64_t value)
     {
-        if (bucket >= buckets_.size())
-            bucket = buckets_.size() - 1;
-        ++buckets_[bucket];
-        ++total_;
+        ++buckets_[bucket_index(value)];
+        sum_ += value;
+        if (count_ == 0 || value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+        ++count_;
     }
 
+    BucketPolicy policy() const { return policy_; }
+    std::size_t bucket_count() const { return buckets_.size(); }
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
-    std::size_t size() const { return buckets_.size(); }
-    std::uint64_t total() const { return total_; }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Value at quantile @p q (in percent, 0..100): the upper bound of the
+     * bucket containing the ceil(q/100 * count)-th smallest sample,
+     * clamped to the observed maximum. Returns 0 on an empty histogram;
+     * fatal on q outside [0, 100].
+     */
+    std::uint64_t percentile(double q) const;
+    std::uint64_t p50() const { return percentile(50.0); }
+    std::uint64_t p90() const { return percentile(90.0); }
+    std::uint64_t p99() const { return percentile(99.0); }
+
+    /// Smallest value bucket @p i can hold.
+    std::uint64_t bucket_lower(std::size_t i) const;
+    /// Largest value bucket @p i can hold (the last bucket of a clamping
+    /// histogram extends to the u64 maximum).
+    std::uint64_t bucket_upper(std::size_t i) const;
+
+    /// Accumulate @p other into this histogram; fatal if the two differ
+    /// in policy or bucket count.
+    void merge(const Histogram &other);
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        count_ = 0;
+        sum_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
 
   private:
+    std::size_t
+    bucket_index(std::uint64_t value) const
+    {
+        std::size_t i =
+            policy_ == BucketPolicy::Log2
+                ? static_cast<std::size_t>(std::bit_width(value))
+                : static_cast<std::size_t>(value);
+        return i < buckets_.size() ? i : buckets_.size() - 1;
+    }
+
+    BucketPolicy policy_;
     std::vector<std::uint64_t> buckets_;
-    std::uint64_t total_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
 };
 
 /**
@@ -88,6 +183,17 @@ class MetricSet {
 
     /// Percent change of each metric relative to @p baseline ((this-b)/b).
     MetricSet percent_change_from(const MetricSet &baseline) const;
+
+    /// Pretty-print (one "name: value" line each) to stdout.
+    void print(const std::string &title) const;
+
+    /**
+     * Print a Table 1/4-style change table: metric name, both values,
+     * and the percent change of @p experiment relative to @p baseline.
+     */
+    static void print_change_table(const MetricSet &baseline,
+                                   const MetricSet &experiment,
+                                   const std::string &title);
 
   private:
     std::map<std::string, double> values_;

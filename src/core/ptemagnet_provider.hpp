@@ -20,6 +20,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/part.hpp"
+#include "obs/stat_registry.hpp"
 #include "vm/page_provider.hpp"
 
 namespace ptm::vm {
@@ -91,6 +92,24 @@ class PtemagnetProvider final : public vm::PhysicalPageProvider {
     std::uint64_t total_live_reservations() const;
 
     const PtemagnetStats &stats() const { return stats_; }
+
+    /// Register activity counters under "<prefix>.*".
+    void
+    register_stats(obs::StatRegistry &registry, const std::string &prefix)
+    {
+        registry.counter(prefix + ".part_hits", &stats_.part_hits);
+        registry.counter(prefix + ".reservations_created",
+                         &stats_.reservations_created);
+        registry.counter(prefix + ".fallback_singles",
+                         &stats_.fallback_singles);
+        registry.counter(prefix + ".buddy_calls", &stats_.buddy_calls);
+        registry.counter(prefix + ".frames_reclaimed",
+                         &stats_.frames_reclaimed);
+        registry.counter(prefix + ".disabled_allocs",
+                         &stats_.disabled_allocs);
+        registry.counter(prefix + ".child_served_by_parent",
+                         &stats_.child_served_by_parent);
+    }
 
     unsigned group_pages() const { return group_pages_; }
 

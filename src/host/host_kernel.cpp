@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace ptm::host {
 
@@ -74,7 +75,24 @@ HostKernel::handle_fault(VmInstance &vm, std::uint64_t gfn)
     vm.note_backed();
     stats_.pages_backed.inc();
 
+    if (trace_ != nullptr)
+        trace_->event_now("host_fault", "hypervisor", costs_.vmexit_fault,
+                          {{"vm", static_cast<std::uint64_t>(vm.id())},
+                           {"gfn", gfn},
+                           {"hfn", *hfn}});
+
     return {.ok = true, .frame = *hfn, .cycles = costs_.vmexit_fault};
+}
+
+void
+HostKernel::register_stats(obs::StatRegistry &registry,
+                           const std::string &prefix)
+{
+    registry.counter(prefix + ".kernel.faults_handled",
+                     &stats_.faults_handled);
+    registry.counter(prefix + ".kernel.pages_backed",
+                     &stats_.pages_backed);
+    buddy_.register_stats(registry, prefix + ".buddy");
 }
 
 }  // namespace ptm::host

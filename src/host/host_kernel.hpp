@@ -20,7 +20,12 @@
 #include "mem/buddy_allocator.hpp"
 #include "mem/physical_memory.hpp"
 #include "mmu/nested_walker.hpp"
+#include "obs/stat_registry.hpp"
 #include "pt/page_table.hpp"
+
+namespace ptm::obs {
+class TraceSink;
+}  // namespace ptm::obs
 
 namespace ptm::host {
 
@@ -76,6 +81,15 @@ class HostKernel {
     const HostCostModel &costs() const { return costs_; }
     const HostKernelStats &stats() const { return stats_; }
 
+    /// Register kernel counters under "<prefix>.kernel.*" and the buddy
+    /// allocator under "<prefix>.buddy.*".
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix);
+
+    /// Arm (or with nullptr disarm) trace-event emission for host faults.
+    /// The sink must outlive the kernel or be disarmed first.
+    void set_trace_sink(obs::TraceSink *sink) { trace_ = sink; }
+
   private:
     pt::FrameSource pt_frame_source(std::int32_t vm_id);
 
@@ -83,6 +97,7 @@ class HostKernel {
     mem::BuddyAllocator buddy_;
     mem::PhysicalMemory memory_;
     std::map<std::int32_t, std::unique_ptr<VmInstance>> vms_;
+    obs::TraceSink *trace_ = nullptr;  ///< normally unarmed
     HostKernelStats stats_;
     std::int32_t next_vm_id_ = 1;
 };

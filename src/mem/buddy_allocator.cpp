@@ -114,6 +114,7 @@ BuddyAllocator::allocate(unsigned order)
     // Split down, returning the low half and freeing the high half, so that
     // sequential order-0 allocations walk a fresh block in ascending
     // address order.
+    stats_.split_depth.record(avail - order);
     while (avail > order) {
         --avail;
         std::uint64_t high = *block + (std::uint64_t{1} << avail);
@@ -158,6 +159,7 @@ BuddyAllocator::free(std::uint64_t base)
     stats_.free_calls.inc();
 
     std::uint64_t block = base;
+    std::uint64_t merged = 0;
     while (order < kMaxOrder) {
         std::uint64_t buddy = buddy_of(block, order);
         if (buddy + (std::uint64_t{1} << order) > base_frame_ + frame_count_)
@@ -165,9 +167,11 @@ BuddyAllocator::free(std::uint64_t base)
         if (!take_specific(buddy, order))
             break;
         stats_.merges.inc();
+        ++merged;
         block = std::min(block, buddy);
         ++order;
     }
+    stats_.merge_depth.record(merged);
     push_free(block, order);
 }
 
@@ -176,6 +180,21 @@ BuddyAllocator::free_frames(std::uint64_t base, std::uint64_t count)
 {
     for (std::uint64_t i = 0; i < count; ++i)
         free(base + i);
+}
+
+void
+BuddyAllocator::register_stats(obs::StatRegistry &registry,
+                               const std::string &prefix,
+                               obs::ResetScope scope)
+{
+    registry.counter(prefix + ".alloc_calls", &stats_.alloc_calls, scope);
+    registry.counter(prefix + ".failed_allocs", &stats_.failed_allocs,
+                     scope);
+    registry.counter(prefix + ".free_calls", &stats_.free_calls, scope);
+    registry.counter(prefix + ".splits", &stats_.splits, scope);
+    registry.counter(prefix + ".merges", &stats_.merges, scope);
+    registry.histogram(prefix + ".split_depth", &stats_.split_depth, scope);
+    registry.histogram(prefix + ".merge_depth", &stats_.merge_depth, scope);
 }
 
 bool

@@ -21,8 +21,12 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/stat_registry.hpp"
 
 namespace ptm::mem {
+
+/// Highest supported order (Linux's MAX_ORDER - 1 == 10: 4 MiB blocks).
+inline constexpr unsigned kMaxBuddyOrder = 10;
 
 /// Aggregate counters for allocator activity.
 struct BuddyStats {
@@ -31,6 +35,10 @@ struct BuddyStats {
     Counter free_calls;        ///< blocks returned
     Counter splits;            ///< block splits performed
     Counter merges;            ///< buddy coalesces performed
+    /// Split steps taken per successful allocate() (0 = exact-order hit).
+    Histogram split_depth{BucketPolicy::Linear, kMaxBuddyOrder + 1};
+    /// Coalesce steps taken per free() (0 = no buddy available).
+    Histogram merge_depth{BucketPolicy::Linear, kMaxBuddyOrder + 1};
 };
 
 /**
@@ -58,7 +66,7 @@ class AllocGate {
 class BuddyAllocator {
   public:
     /// Highest supported order (Linux's MAX_ORDER - 1 == 10: 4 MiB blocks).
-    static constexpr unsigned kMaxOrder = 10;
+    static constexpr unsigned kMaxOrder = kMaxBuddyOrder;
 
     /**
      * Construct an allocator over @p frame_count frames starting at
@@ -116,6 +124,12 @@ class BuddyAllocator {
 
     /// Activity counters.
     const BuddyStats &stats() const { return stats_; }
+
+    /// Register counters plus split/merge depth histograms under
+    /// "<prefix>.alloc_calls", "<prefix>.split_depth", etc.
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix,
+                        obs::ResetScope scope = obs::ResetScope::Lifetime);
 
     /**
      * Arm (or with nullptr disarm) deterministic allocation-failure

@@ -47,8 +47,10 @@ NestedWalker::host_translate(std::uint64_t gfn, TranslationResult &result)
             stats_.walk_cycles.inc(access.latency);
             stats_.host_pt_cycles.inc(access.latency);
             stats_.host_pt_accesses.inc();
-            if (access.served_by == cache::ServedBy::Memory)
+            if (access.served_by == cache::ServedBy::Memory) {
                 stats_.host_pt_mem_accesses.inc();
+                stats_.host_pt_level_mem.record(i);
+            }
         }
         if (n == kPtLevels && steps[n - 1].pte.present()) {
             std::uint64_t hfn = steps[n - 1].pte.frame();
@@ -102,8 +104,10 @@ NestedWalker::walk_guest_once(GuestContext &guest, std::uint64_t gvpn,
         stats_.walk_cycles.inc(access.latency);
         stats_.guest_pt_cycles.inc(access.latency);
         stats_.guest_pt_accesses.inc();
-        if (access.served_by == cache::ServedBy::Memory)
+        if (access.served_by == cache::ServedBy::Memory) {
             stats_.guest_pt_mem_accesses.inc();
+            stats_.guest_pt_level_mem.record(i);
+        }
 
         if (!step.pte.present()) {
             // Guest page fault: the guest kernel allocates and maps.
@@ -164,11 +168,53 @@ NestedWalker::translate(GuestContext &guest, Addr gva)
             continue;  // faulted; PT changed; retry
 
         // Final host walk: translate the data page itself.
+        result.gfn = *data_gfn;
         result.hfn = host_translate(*data_gfn, result);
         tlb_.insert(gvpn, result.hfn);
+        stats_.walk_cycles_hist.record(result.walk_cycles);
         return result;
     }
     ptm_panic("guest translation did not converge");
+}
+
+void
+NestedWalker::register_stats(obs::StatRegistry &registry,
+                             const std::string &prefix)
+{
+    const std::string w = prefix + ".walker";
+    const obs::ResetScope scope = obs::ResetScope::Measurement;
+    registry.counter(w + ".translations", &stats_.translations, scope);
+    registry.counter(w + ".tlb_l1_hits", &stats_.tlb_l1_hits, scope);
+    registry.counter(w + ".tlb_l2_hits", &stats_.tlb_l2_hits, scope);
+    registry.counter(w + ".tlb_misses", &stats_.tlb_misses, scope);
+    registry.counter(w + ".walk_cycles", &stats_.walk_cycles, scope);
+    registry.counter(w + ".guest_pt_cycles", &stats_.guest_pt_cycles,
+                     scope);
+    registry.counter(w + ".host_pt_cycles", &stats_.host_pt_cycles, scope);
+    registry.counter(w + ".host_walks", &stats_.host_walks, scope);
+    registry.counter(w + ".nested_tlb_hits", &stats_.nested_tlb_hits,
+                     scope);
+    registry.counter(w + ".guest_pt_accesses", &stats_.guest_pt_accesses,
+                     scope);
+    registry.counter(w + ".host_pt_accesses", &stats_.host_pt_accesses,
+                     scope);
+    registry.counter(w + ".guest_pt_mem_accesses",
+                     &stats_.guest_pt_mem_accesses, scope);
+    registry.counter(w + ".host_pt_mem_accesses",
+                     &stats_.host_pt_mem_accesses, scope);
+    registry.counter(w + ".guest_faults", &stats_.guest_faults, scope);
+    registry.counter(w + ".host_faults", &stats_.host_faults, scope);
+    registry.counter(w + ".fault_cycles", &stats_.fault_cycles, scope);
+    registry.histogram(w + ".walk_cycles_hist", &stats_.walk_cycles_hist,
+                       scope);
+    registry.histogram(w + ".guest_pt_level_mem",
+                       &stats_.guest_pt_level_mem, scope);
+    registry.histogram(w + ".host_pt_level_mem",
+                       &stats_.host_pt_level_mem, scope);
+
+    tlb_.register_stats(registry, prefix);
+    pwc_.register_stats(registry, prefix);
+    nested_tlb_.register_stats(registry, prefix);
 }
 
 void

@@ -23,6 +23,7 @@
 #include "cache/hierarchy.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/stat_registry.hpp"
 #include "pt/page_table.hpp"
 #include "tlb/tlb.hpp"
 
@@ -80,6 +81,8 @@ struct HostContext {
 /// Everything a translation request reports back.
 struct TranslationResult {
     std::uint64_t hfn = 0;        ///< host frame of the data page
+    std::uint64_t gfn = 0;        ///< guest frame of the data page
+                                  ///< (0 on a TLB hit: only walks learn it)
     Cycles cycles = 0;            ///< total translation cost incl. faults
     Cycles walk_cycles = 0;       ///< hardware walk portion only
     bool tlb_hit = false;
@@ -104,6 +107,12 @@ struct WalkerStats {
     Counter guest_faults;
     Counter host_faults;
     Counter fault_cycles;          ///< cycles inside kernel fault handlers
+    /// Hardware walk cycles per TLB-missing translation (log2 buckets).
+    Histogram walk_cycles_hist;
+    /// Guest-PT level (0 = PML4) of node accesses served by main memory.
+    Histogram guest_pt_level_mem{BucketPolicy::Linear, kPtLevels};
+    /// Host-PT level (0 = PML4) of node accesses served by main memory.
+    Histogram host_pt_level_mem{BucketPolicy::Linear, kPtLevels};
 };
 
 /**
@@ -143,6 +152,13 @@ class NestedWalker {
     unsigned core() const { return core_; }
     const WalkerStats &stats() const { return stats_; }
     void reset_stats() { stats_ = WalkerStats{}; }
+
+    /// Register walker counters + latency histograms under
+    /// "<prefix>.walker.*" (Measurement scope: cleared between the init
+    /// and measure phases), and the TLB/PWC/nested-TLB structures under
+    /// "<prefix>.l1tlb" etc. (Lifetime scope, like their reset behaviour).
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix);
 
     tlb::TlbHierarchy &tlb() { return tlb_; }
     tlb::PageWalkCache &pwc() { return pwc_; }

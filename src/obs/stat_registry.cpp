@@ -1,0 +1,144 @@
+#include "obs/stat_registry.hpp"
+
+#include "common/log.hpp"
+
+namespace ptm::obs {
+
+// ---- StatSnapshot ----------------------------------------------------
+
+bool
+StatSnapshot::has(const std::string &path) const
+{
+    for (const Entry &entry : entries_) {
+        if (entry.path == path)
+            return true;
+    }
+    return false;
+}
+
+const StatSnapshot::Entry &
+StatSnapshot::find(const std::string &path) const
+{
+    for (const Entry &entry : entries_) {
+        if (entry.path == path)
+            return entry;
+    }
+    ptm_fatal("snapshot has no stat '%s'", path.c_str());
+}
+
+double
+StatSnapshot::value(const std::string &path) const
+{
+    const Entry &entry = find(path);
+    if (entry.is_histogram)
+        ptm_fatal("stat '%s' is a histogram, not a counter", path.c_str());
+    return entry.value;
+}
+
+const HistogramSummary &
+StatSnapshot::histogram(const std::string &path) const
+{
+    const Entry &entry = find(path);
+    if (!entry.is_histogram)
+        ptm_fatal("stat '%s' is a counter, not a histogram", path.c_str());
+    return entry.histogram;
+}
+
+void
+StatSnapshot::add_counter(std::string path, double value)
+{
+    Entry entry;
+    entry.path = std::move(path);
+    entry.is_histogram = false;
+    entry.value = value;
+    entries_.push_back(std::move(entry));
+}
+
+void
+StatSnapshot::add_histogram(std::string path,
+                            const HistogramSummary &summary)
+{
+    Entry entry;
+    entry.path = std::move(path);
+    entry.is_histogram = true;
+    entry.histogram = summary;
+    entries_.push_back(std::move(entry));
+}
+
+// ---- StatRegistry ----------------------------------------------------
+
+void
+StatRegistry::add(Entry entry)
+{
+    if (entry.path.empty())
+        ptm_fatal("stat registered under an empty path");
+    if (!paths_.insert(entry.path).second)
+        ptm_fatal("duplicate stat path '%s'", entry.path.c_str());
+    entries_.push_back(std::move(entry));
+}
+
+void
+StatRegistry::counter(std::string path, Counter *counter, ResetScope scope)
+{
+    if (counter == nullptr)
+        ptm_fatal("null counter registered at '%s'", path.c_str());
+    Entry entry;
+    entry.path = std::move(path);
+    entry.counter = counter;
+    entry.scope = scope;
+    add(std::move(entry));
+}
+
+void
+StatRegistry::histogram(std::string path, Histogram *histogram,
+                        ResetScope scope)
+{
+    if (histogram == nullptr)
+        ptm_fatal("null histogram registered at '%s'", path.c_str());
+    Entry entry;
+    entry.path = std::move(path);
+    entry.histogram = histogram;
+    entry.scope = scope;
+    add(std::move(entry));
+}
+
+void
+StatRegistry::reset(ResetScope scope)
+{
+    for (Entry &entry : entries_) {
+        if (entry.scope != scope)
+            continue;
+        if (entry.counter != nullptr)
+            entry.counter->reset();
+        else
+            entry.histogram->reset();
+    }
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    StatSnapshot snap;
+    for (const Entry &entry : entries_) {
+        if (entry.counter != nullptr) {
+            snap.add_counter(
+                entry.path,
+                static_cast<double>(entry.counter->value()));
+        } else {
+            const Histogram &h = *entry.histogram;
+            HistogramSummary summary;
+            summary.count = h.count();
+            summary.sum = h.sum();
+            summary.min = h.min();
+            summary.max = h.max();
+            summary.mean = h.mean();
+            summary.p50 = h.p50();
+            summary.p90 = h.p90();
+            summary.p99 = h.p99();
+            snap.add_histogram(entry.path, summary);
+        }
+    }
+    return snap;
+}
+
+}  // namespace ptm::obs

@@ -1,0 +1,90 @@
+#include "obs/trace_sink.hpp"
+
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace ptm::obs {
+
+TraceSink::TraceSink(std::size_t max_events) : max_events_(max_events)
+{
+    if (max_events_ == 0)
+        ptm_fatal("trace sink with a zero event cap");
+}
+
+void
+TraceSink::event(const char *name, const char *category, std::uint64_t ts,
+                 std::uint64_t dur, unsigned tid,
+                 std::initializer_list<TraceArg> args)
+{
+    if (events_.size() >= max_events_) {
+        ++dropped_;
+        return;
+    }
+    Event e;
+    e.name = name;
+    e.category = category;
+    e.ts = ts;
+    e.dur = dur;
+    e.tid = tid;
+    e.nargs = 0;
+    for (const TraceArg &arg : args) {
+        if (e.nargs == kMaxArgs)
+            break;
+        e.args[e.nargs++] = arg;
+    }
+    events_.push_back(e);
+}
+
+void
+TraceSink::clear()
+{
+    events_.clear();
+    dropped_ = 0;
+}
+
+std::string
+TraceSink::to_json() const
+{
+    // Event names, categories, and arg keys are compile-time literals
+    // chosen by emit sites (never user input), so they are embedded
+    // without escaping.
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event &e : events_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += strprintf(
+            "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%llu,\"dur\":%llu,\"pid\":0,\"tid\":%u,\"args\":{",
+            e.name, e.category, static_cast<unsigned long long>(e.ts),
+            static_cast<unsigned long long>(e.dur), e.tid);
+        for (unsigned i = 0; i < e.nargs; ++i) {
+            if (i != 0)
+                out += ',';
+            out += strprintf(
+                "\"%s\":%llu", e.args[i].key,
+                static_cast<unsigned long long>(e.args[i].value));
+        }
+        out += "}}";
+    }
+    out += strprintf("\n],\"displayTimeUnit\":\"ns\","
+                     "\"otherData\":{\"dropped_events\":%llu}}\n",
+                     static_cast<unsigned long long>(dropped_));
+    return out;
+}
+
+void
+TraceSink::write_json(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        ptm_fatal("cannot write trace file '%s'", path.c_str());
+    out << to_json();
+    out.flush();
+    if (!out.good())
+        ptm_fatal("short write to trace file '%s'", path.c_str());
+}
+
+}  // namespace ptm::obs

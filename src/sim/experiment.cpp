@@ -101,7 +101,7 @@ run_scenario(const ScenarioConfig &config)
             std::uint64_t total = 0;
             for (auto &job : system.jobs()) {
                 if (job.get() != &victim)
-                    total += job->counters().ops.value();
+                    total += job->stats().ops.value();
             }
             return total >= target;
         });
@@ -112,13 +112,13 @@ run_scenario(const ScenarioConfig &config)
     // this is where the allocation-order decisions are made. Sampled
     // frequently: partially-filled reservations peak mid-allocation.
     while (!victim.finished() && victim.workload().in_init_phase()) {
-        std::uint64_t before = victim.counters().ops.value();
+        std::uint64_t before = victim.stats().ops.value();
         system.run_until([&victim, before]() {
             return victim.finished() ||
                    !victim.workload().in_init_phase() ||
                    // Prime stride: never a multiple of the group size,
                    // so samples land inside partially-filled groups too.
-                   victim.counters().ops.value() >= before + 4093;
+                   victim.stats().ops.value() >= before + 4093;
         });
         sample_reservations();
     }
@@ -136,19 +136,20 @@ run_scenario(const ScenarioConfig &config)
     std::uint64_t remaining = config.measure_ops;
     while (remaining > 0 && !victim.finished()) {
         std::uint64_t chunk = std::min(remaining, kReservationSampleOps);
-        std::uint64_t before = victim.counters().ops.value();
+        std::uint64_t before = victim.stats().ops.value();
         system.run_ops(victim, chunk);
-        std::uint64_t done = victim.counters().ops.value() - before;
+        std::uint64_t done = victim.stats().ops.value() - before;
         if (done == 0)
             break;  // victim finished mid-chunk
         remaining -= std::min(remaining, done);
         sample_reservations();
     }
 
-    result.victim_cycles = victim.counters().cycles.value();
-    result.victim_ops = victim.counters().ops.value();
+    result.victim_cycles = victim.stats().cycles.value();
+    result.victim_ops = victim.stats().ops.value();
     result.victim_rss_pages = victim.process().rss_pages();
-    result.metrics = collect_metrics(victim, system.vm());
+    result.metrics = collect_metrics(system, victim);
+    result.stats = system.stat_registry().snapshot();
     result.fragmentation =
         host_pt_fragmentation(victim.process(), system.vm());
 

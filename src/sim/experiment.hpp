@@ -160,6 +160,10 @@ struct ScenarioConfig {
 /// Everything a run reports.
 struct ScenarioResult {
     MetricSet metrics;                    ///< Table 1/4 metric set
+    /// Full stat-registry snapshot at run end: every component counter
+    /// and histogram summary, keyed by hierarchical path. Serialized as
+    /// the "stats" block of BENCH files.
+    obs::StatSnapshot stats;
     Cycles victim_cycles = 0;             ///< measured execution time
     std::uint64_t victim_ops = 0;
     std::uint64_t victim_rss_pages = 0;   ///< resident set at run end

@@ -184,6 +184,21 @@ class FaultInjector final : public vm::PressureAgent {
     const InjectorStats &stats() const { return stats_; }
     const FaultPlan &plan() const { return plan_; }
 
+    /// Register injection counters under "<prefix>.*".
+    void
+    register_stats(obs::StatRegistry &registry, const std::string &prefix)
+    {
+        registry.counter(prefix + ".injected_denials",
+                         &stats_.injected_denials);
+        registry.counter(prefix + ".pressure_episodes",
+                         &stats_.pressure_episodes);
+        registry.counter(prefix + ".reclaim_sweeps",
+                         &stats_.reclaim_sweeps);
+        registry.counter(prefix + ".gate_calls", &stats_.gate_calls);
+        registry.counter(prefix + ".pressure_ticks",
+                         &stats_.pressure_ticks);
+    }
+
   private:
     struct Gate final : mem::AllocGate {
         FaultInjector *owner = nullptr;

@@ -1,8 +1,8 @@
 #include "sim/metrics.hpp"
 
-#include <cstdio>
 #include <set>
 
+#include "common/log.hpp"
 #include "pt/page_table.hpp"
 
 namespace ptm::sim {
@@ -61,52 +61,38 @@ host_pt_fragmentation(const vm::Process &proc, const host::VmInstance &vm)
 }
 
 MetricSet
-collect_metrics(const Job &job, const host::VmInstance &vm)
+collect_metrics(const System &system, const Job &job)
 {
     MetricSet m;
-    const JobCounters &c = job.counters();
-    const mmu::WalkerStats &w = job.walker().stats();
+    const obs::StatSnapshot snap = system.stat_registry().snapshot();
+    const std::string &p = job.stat_prefix();
 
-    m.set("execution_time", static_cast<double>(c.cycles.value()));
-    m.set("cache_misses", static_cast<double>(c.data_mem_accesses.value()));
-    m.set("tlb_misses", static_cast<double>(w.tlb_misses.value()));
-    m.set("page_walk_cycles", static_cast<double>(w.walk_cycles.value()));
-    m.set("host_pt_walk_cycles",
-          static_cast<double>(w.host_pt_cycles.value()));
+    m.set("execution_time", snap.value(p + ".job.cycles"));
+    m.set("cache_misses", snap.value(p + ".job.data_mem_accesses"));
+    m.set("tlb_misses", snap.value(p + ".walker.tlb_misses"));
+    m.set("page_walk_cycles", snap.value(p + ".walker.walk_cycles"));
+    m.set("host_pt_walk_cycles", snap.value(p + ".walker.host_pt_cycles"));
     m.set("guest_pt_mem_accesses",
-          static_cast<double>(w.guest_pt_mem_accesses.value()));
+          snap.value(p + ".walker.guest_pt_mem_accesses"));
     m.set("host_pt_mem_accesses",
-          static_cast<double>(w.host_pt_mem_accesses.value()));
+          snap.value(p + ".walker.host_pt_mem_accesses"));
 
-    FragmentationReport frag = host_pt_fragmentation(job.process(), vm);
+    FragmentationReport frag =
+        host_pt_fragmentation(job.process(), system.vm());
     m.set("host_pt_fragmentation", frag.average_hpte_lines);
     m.set("fragmented_group_fraction", frag.fragmented_fraction);
     return m;
 }
 
-void
-print_metrics(const MetricSet &metrics, const std::string &title)
+MetricSet
+collect_metrics(const Job &job, const host::VmInstance &vm)
 {
-    std::printf("%s\n", title.c_str());
-    for (const auto &[name, value] : metrics.values())
-        std::printf("  %-28s %.4g\n", name.c_str(), value);
-}
-
-void
-print_change_table(const MetricSet &baseline, const MetricSet &experiment,
-                   const std::string &title)
-{
-    std::printf("%s\n", title.c_str());
-    std::printf("  %-28s %12s %12s %9s\n", "metric", "baseline",
-                "experiment", "change");
-    MetricSet delta = experiment.percent_change_from(baseline);
-    for (const auto &[name, value] : baseline.values()) {
-        if (!experiment.has(name))
-            continue;
-        std::printf("  %-28s %12.4g %12.4g %+8.1f%%\n", name.c_str(),
-                    value, experiment.get(name),
-                    delta.has(name) ? delta.get(name) : 0.0);
-    }
+    const System *system = job.system();
+    if (system == nullptr)
+        ptm_fatal("collect_metrics: job has no owning system");
+    if (&system->vm() != &vm)
+        ptm_fatal("collect_metrics: vm is not the job's system's VM");
+    return collect_metrics(*system, job);
 }
 
 }  // namespace ptm::sim

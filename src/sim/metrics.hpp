@@ -33,18 +33,31 @@ FragmentationReport host_pt_fragmentation(const vm::Process &proc,
  * Snapshot the paper's metric set for @p job (Tables 1 and 4):
  * execution_time, cache_misses, tlb_misses, page_walk_cycles,
  * host_pt_walk_cycles, guest/host_pt_mem_accesses, host_pt_fragmentation.
+ *
+ * The values are read from @p system's stat registry by path (the same
+ * source the BENCH stats block is built from); the metric *names* are the
+ * paper's, kept stable for golden-snapshot comparability.
  */
+MetricSet collect_metrics(const System &system, const Job &job);
+
+/// Deprecated: forwards to collect_metrics(system, job) via the job's
+/// owning system; @p vm must be that system's VM.
+[[deprecated("use collect_metrics(system, job)")]]
 MetricSet collect_metrics(const Job &job, const host::VmInstance &vm);
 
-/// Pretty-print a metric set (one "name: value" line each) to stdout.
-void print_metrics(const MetricSet &metrics, const std::string &title);
+/// Deprecated: use MetricSet::print.
+inline void
+print_metrics(const MetricSet &metrics, const std::string &title)
+{
+    metrics.print(title);
+}
 
-/**
- * Print a Table 1/4-style two-column change table: metric name and the
- * percent change of @p experiment relative to @p baseline.
- */
-void print_change_table(const MetricSet &baseline,
-                        const MetricSet &experiment,
-                        const std::string &title);
+/// Deprecated: use MetricSet::print_change_table.
+inline void
+print_change_table(const MetricSet &baseline, const MetricSet &experiment,
+                   const std::string &title)
+{
+    MetricSet::print_change_table(baseline, experiment, title);
+}
 
 }  // namespace ptm::sim

@@ -406,6 +406,28 @@ to_json(const ScenarioResult &result)
     perf.set("total_ops", result.total_ops);
     perf.set("ops_per_second", result.ops_per_second());
     j.set("sim_perf", std::move(perf));
+
+    // Registry snapshot: counters as numbers, histograms as summary
+    // objects, keyed by their hierarchical path in registration order.
+    Json stats = Json::object();
+    for (const obs::StatSnapshot::Entry &entry : result.stats.entries()) {
+        if (entry.is_histogram) {
+            const obs::HistogramSummary &h = entry.histogram;
+            Json hist = Json::object();
+            hist.set("count", h.count);
+            hist.set("sum", h.sum);
+            hist.set("min", h.min);
+            hist.set("max", h.max);
+            hist.set("mean", h.mean);
+            hist.set("p50", h.p50);
+            hist.set("p90", h.p90);
+            hist.set("p99", h.p99);
+            stats.set(entry.path, std::move(hist));
+        } else {
+            stats.set(entry.path, entry.value);
+        }
+    }
+    j.set("stats", std::move(stats));
     return j;
 }
 
@@ -450,6 +472,26 @@ scenario_result_from_json(const Json &json)
     const Json &perf = json.at("sim_perf");
     result.host_seconds = perf.at("host_seconds").as_double();
     result.total_ops = perf.at("total_ops").as_u64();
+
+    // Older BENCH files predate the stats block; leave it empty.
+    if (json.contains("stats")) {
+        for (const auto &[path, value] : json.at("stats").as_object()) {
+            if (value.is_object()) {
+                obs::HistogramSummary h;
+                h.count = value.at("count").as_u64();
+                h.sum = value.at("sum").as_u64();
+                h.min = value.at("min").as_u64();
+                h.max = value.at("max").as_u64();
+                h.mean = value.at("mean").as_double();
+                h.p50 = value.at("p50").as_u64();
+                h.p90 = value.at("p90").as_u64();
+                h.p99 = value.at("p99").as_u64();
+                result.stats.add_histogram(path, h);
+            } else {
+                result.stats.add_counter(path, value.as_double());
+            }
+        }
+    }
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "core/ptemagnet_provider.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/fault_injection.hpp"
 
 namespace ptm::sim {
@@ -26,7 +27,7 @@ class System::JobWorkloadContext final : public workload::WorkloadContext {
     Addr
     mmap(Addr bytes) override
     {
-        job_->counters_.cycles.inc(system_->config_.mmap_cycles);
+        job_->stats_.cycles.inc(system_->config_.mmap_cycles);
         return job_->process_->vas().mmap(bytes);
     }
 
@@ -36,7 +37,7 @@ class System::JobWorkloadContext final : public workload::WorkloadContext {
         // Charge teardown per page currently backed.
         const vm::Vma *vma = job_->process_->vas().find(page_number(base));
         if (vma != nullptr) {
-            job_->counters_.cycles.inc(
+            job_->stats_.cycles.inc(
                 system_->config_.munmap_page_cycles * vma->pages());
         }
         system_->guest_->free_region(*job_->process_, base);
@@ -45,7 +46,7 @@ class System::JobWorkloadContext final : public workload::WorkloadContext {
     void
     free_page(Addr gva) override
     {
-        job_->counters_.cycles.inc(system_->config_.munmap_page_cycles);
+        job_->stats_.cycles.inc(system_->config_.munmap_page_cycles);
         system_->guest_->free_page(*job_->process_, page_number(gva));
     }
 
@@ -79,6 +80,13 @@ System::System(const PlatformConfig &config, unsigned num_cores)
                     job->walker_->invalidate(gvpn);
             }
         };
+
+    // Wire every component into the stat registry up front; jobs add
+    // their per-core subtrees as they are created. Registration is
+    // pointer capture only — the hot path never consults the registry.
+    guest_->register_stats(registry_, "vm0");
+    host_->register_stats(registry_, "host");
+    hierarchy_->register_stats(registry_, "vm0.hier");
 }
 
 System::~System() = default;
@@ -91,6 +99,7 @@ System::enable_ptemagnet(unsigned group_pages)
     auto provider = std::make_unique<core::PtemagnetProvider>(
         guest_.get(), group_pages);
     ptemagnet_ = provider.get();
+    ptemagnet_->register_stats(registry_, "vm0.provider");
     guest_->set_provider(std::move(provider));
 }
 
@@ -100,6 +109,15 @@ System::arm_fault_injection(FaultInjector &injector)
     guest_->buddy().set_alloc_gate(injector.guest_gate());
     host_->buddy().set_alloc_gate(injector.host_gate());
     guest_->set_pressure_agent(&injector);
+    injector.register_stats(registry_, "fault_injection");
+}
+
+void
+System::set_trace_sink(obs::TraceSink *sink)
+{
+    trace_ = sink;
+    guest_->set_trace_sink(sink);
+    host_->set_trace_sink(sink);
 }
 
 Job &
@@ -131,6 +149,17 @@ System::make_job(vm::Process &process,
     job->system_ = this;
     job->walker_ = std::make_unique<mmu::NestedWalker>(
         core, config_.tlb, hierarchy_.get(), host_ctx_);
+    job->stat_prefix_ = "vm0.core" + std::to_string(core);
+    const std::string j = job->stat_prefix_ + ".job";
+    const obs::ResetScope scope = obs::ResetScope::Measurement;
+    registry_.counter(j + ".ops", &job->stats_.ops, scope);
+    registry_.counter(j + ".cycles", &job->stats_.cycles, scope);
+    registry_.counter(j + ".data_accesses", &job->stats_.data_accesses,
+                      scope);
+    registry_.counter(j + ".data_mem_accesses",
+                      &job->stats_.data_mem_accesses, scope);
+    registry_.counter(j + ".data_cycles", &job->stats_.data_cycles, scope);
+    job->walker_->register_stats(registry_, job->stat_prefix_);
     job->guest_ctx_ = mmu::GuestContext{
         .page_table = &process.page_table(),
         .fault_handler =
@@ -157,6 +186,11 @@ System::step(Job &job)
         return;
     }
 
+    // Stamp the trace clock before any emit site can fire: kernel events
+    // raised inside translate() inherit this (timestamp, tid).
+    if (trace_ != nullptr)
+        trace_->set_now(job.stats_.cycles.value(), job.core_);
+
     Cycles cycles = config_.base_op_cycles;
 
     // COW break check: only needed once the process has forked children.
@@ -175,12 +209,23 @@ System::step(Job &job)
     cycles += data.latency;
 
     ++total_steps_;
-    job.counters_.ops.inc();
-    job.counters_.cycles.inc(cycles);
-    job.counters_.data_accesses.inc();
-    job.counters_.data_cycles.inc(data.latency);
+    job.stats_.ops.inc();
+    job.stats_.cycles.inc(cycles);
+    job.stats_.data_accesses.inc();
+    job.stats_.data_cycles.inc(data.latency);
     if (data.served_by == cache::ServedBy::Memory)
-        job.counters_.data_mem_accesses.inc();
+        job.stats_.data_mem_accesses.inc();
+
+    if (trace_ != nullptr && !trans.tlb_hit) {
+        trace_->event(
+            "walk", "mmu", trace_->now(), trans.cycles, job.core_,
+            {{"gva", op->gva},
+             {"gpa", trans.gfn * kPageSize + (op->gva & kPageOffsetMask)},
+             {"hpa", hpa},
+             {"served_by", static_cast<std::uint64_t>(data.served_by)},
+             {"walk_cycles", trans.walk_cycles},
+             {"faulted", static_cast<std::uint64_t>(trans.faulted)}});
+    }
 }
 
 mmu::FaultOutcome
@@ -208,20 +253,16 @@ System::run_until_init_done(Job &job)
 void
 System::run_ops(Job &job, std::uint64_t ops)
 {
-    std::uint64_t target = job.counters_.ops.value() + ops;
+    std::uint64_t target = job.stats_.ops.value() + ops;
     run_until([&job, target]() {
-        return job.finished() || job.counters().ops.value() >= target;
+        return job.finished() || job.stats().ops.value() >= target;
     });
 }
 
 void
 System::reset_measurement()
 {
-    hierarchy_->reset_stats();
-    for (auto &job : jobs_) {
-        job->reset_counters();
-        job->walker_->reset_stats();
-    }
+    registry_.reset(obs::ResetScope::Measurement);
 }
 
 }  // namespace ptm::sim

@@ -16,6 +16,7 @@
 #include "common/stats.hpp"
 #include "host/host_kernel.hpp"
 #include "mmu/nested_walker.hpp"
+#include "obs/stat_registry.hpp"
 #include "sim/platform.hpp"
 #include "vm/guest_kernel.hpp"
 #include "workload/workload.hpp"
@@ -24,18 +25,27 @@ namespace ptm::core {
 class PtemagnetProvider;
 }
 
+namespace ptm::obs {
+class TraceSink;
+}
+
 namespace ptm::sim {
 
 class FaultInjector;
 
-/// Per-job measurement counters (reset at measurement start).
-struct JobCounters {
+/// Per-job measurement stats, owned by the job and registered under
+/// "vm0.core<N>.job.*" with Measurement scope (cleared by
+/// System::reset_measurement()).
+struct JobStats {
     Counter ops;
     Counter cycles;
     Counter data_accesses;
     Counter data_mem_accesses;  ///< data accesses served by main memory
     Counter data_cycles;
 };
+
+/// Deprecated name, kept for source compatibility; use JobStats.
+using JobCounters = JobStats;
 
 class System;
 
@@ -57,8 +67,20 @@ class Job {
     bool paused() const { return paused_; }
     void set_paused(bool paused) { paused_ = paused; }
 
-    const JobCounters &counters() const { return counters_; }
-    void reset_counters() { counters_ = JobCounters{}; }
+    const JobStats &stats() const { return stats_; }
+
+    /// Deprecated alias for stats(); stat ownership moved to the
+    /// registry, which also performs the measurement-window reset.
+    [[deprecated("use stats()")]] const JobStats &counters() const
+    {
+        return stats_;
+    }
+
+    /// Registry path prefix of this job's stats ("vm0.core<N>").
+    const std::string &stat_prefix() const { return stat_prefix_; }
+
+    /// Owning system (set when the job is added; never null afterwards).
+    const System *system() const { return system_; }
 
     mmu::NestedWalker &walker() { return *walker_; }
     const mmu::NestedWalker &walker() const { return *walker_; }
@@ -73,7 +95,8 @@ class Job {
     std::unique_ptr<mmu::NestedWalker> walker_;
     mmu::GuestContext guest_ctx_;
     std::unique_ptr<workload::WorkloadContext> workload_ctx_;
-    JobCounters counters_;
+    JobStats stats_;
+    std::string stat_prefix_;
     bool finished_ = false;
     bool paused_ = false;
     bool cow_possible_ = false;  ///< set after the process is forked
@@ -156,14 +179,30 @@ class System {
     /// Run until @p job has executed @p ops more operations.
     void run_ops(Job &job, std::uint64_t ops);
 
-    /// Reset all measurement-window statistics (jobs, walkers, caches).
+    /// Reset all measurement-window statistics (jobs, walkers, caches) —
+    /// exactly the registry entries registered with Measurement scope.
     void reset_measurement();
 
     vm::GuestKernel &guest() { return *guest_; }
     host::HostKernel &host() { return *host_; }
     host::VmInstance &vm() { return *vm_; }
+    const host::VmInstance &vm() const { return *vm_; }
     cache::MemoryHierarchy &hierarchy() { return *hierarchy_; }
+    const cache::MemoryHierarchy &hierarchy() const { return *hierarchy_; }
     const PlatformConfig &config() const { return config_; }
+
+    /// Every component's counters and histograms, by hierarchical path.
+    obs::StatRegistry &stat_registry() { return registry_; }
+    const obs::StatRegistry &stat_registry() const { return registry_; }
+
+    /**
+     * Arm (or with nullptr disarm) chrome-trace event emission: walk
+     * events from the stepper, fault/reclaim events from the kernels.
+     * The sink must outlive this System or be disarmed first. Unarmed,
+     * every emit site is a single null check and runs are bit-identical
+     * to a build without tracing.
+     */
+    void set_trace_sink(obs::TraceSink *sink);
 
     /// Operations executed across all jobs since construction. Unlike the
     /// per-job counters this is never reset by reset_measurement(): it is
@@ -197,6 +236,10 @@ class System {
     mmu::HostContext host_ctx_;
     std::vector<std::unique_ptr<Job>> jobs_;
     core::PtemagnetProvider *ptemagnet_ = nullptr;
+    obs::StatRegistry registry_;
+    obs::TraceSink *trace_ = nullptr;  ///< normally unarmed
+    /// Never registered: survives reset_measurement() as the denominator
+    /// of the simulator-throughput metric.
     std::uint64_t total_steps_ = 0;
 };
 

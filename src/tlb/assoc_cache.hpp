@@ -20,6 +20,7 @@
 
 #include "common/log.hpp"
 #include "common/stats.hpp"
+#include "obs/stat_registry.hpp"
 
 namespace ptm::tlb {
 
@@ -154,6 +155,16 @@ class AssocCache {
     unsigned capacity() const { return num_sets_ * ways_; }
     const AssocStats &stats() const { return stats_; }
     void reset_stats() { stats_ = AssocStats{}; }
+
+    /// Register hit/miss/eviction counters under "<prefix>.hits" etc.
+    void
+    register_stats(obs::StatRegistry &registry, const std::string &prefix,
+                   obs::ResetScope scope = obs::ResetScope::Lifetime)
+    {
+        registry.counter(prefix + ".hits", &stats_.hits, scope);
+        registry.counter(prefix + ".misses", &stats_.misses, scope);
+        registry.counter(prefix + ".evictions", &stats_.evictions, scope);
+    }
 
     /// Number of valid entries (test hook).
     unsigned

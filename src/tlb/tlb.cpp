@@ -22,6 +22,14 @@ TlbHierarchy::reset_stats()
     l2_.reset_stats();
 }
 
+void
+TlbHierarchy::register_stats(obs::StatRegistry &registry,
+                             const std::string &prefix)
+{
+    l1_.register_stats(registry, prefix + ".l1tlb");
+    l2_.register_stats(registry, prefix + ".l2tlb");
+}
+
 PageWalkCache::PageWalkCache(const TlbConfig &config)
     : enabled_(config.pwc_enabled),
       levels_{AssocCache<std::uint64_t>(config.pwc_entries, config.pwc_ways),
@@ -35,6 +43,15 @@ PageWalkCache::flush()
 {
     for (auto &level : levels_)
         level.invalidate_all();
+}
+
+void
+PageWalkCache::register_stats(obs::StatRegistry &registry,
+                              const std::string &prefix)
+{
+    for (unsigned level = 0; level < kPtLevels - 1; ++level)
+        levels_[level].register_stats(
+            registry, prefix + ".pwc_l" + std::to_string(level));
 }
 
 NestedTlb::NestedTlb(const TlbConfig &config)
@@ -53,6 +70,13 @@ void
 NestedTlb::flush()
 {
     cache_.invalidate_all();
+}
+
+void
+NestedTlb::register_stats(obs::StatRegistry &registry,
+                          const std::string &prefix)
+{
+    cache_.register_stats(registry, prefix + ".nested_tlb");
 }
 
 }  // namespace ptm::tlb

@@ -85,6 +85,10 @@ class TlbHierarchy {
     const AssocStats &l2_stats() const { return l2_.stats(); }
     void reset_stats();
 
+    /// Register both levels under "<prefix>.l1tlb.*" / "<prefix>.l2tlb.*".
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix);
+
   private:
     AssocCache<std::uint64_t> l1_;
     AssocCache<std::uint64_t> l2_;
@@ -145,6 +149,10 @@ class PageWalkCache {
         return levels_[level].stats();
     }
 
+    /// Register each level under "<prefix>.pwc_l<level>.*".
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix);
+
   private:
     static std::uint64_t key_for(std::uint64_t gvpn, unsigned level)
     {
@@ -189,6 +197,10 @@ class NestedTlb {
     bool enabled() const { return enabled_; }
 
     const AssocStats &stats() const { return cache_.stats(); }
+
+    /// Register under "<prefix>.nested_tlb.*".
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix);
 
   private:
     bool enabled_;

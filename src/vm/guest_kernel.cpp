@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/trace_sink.hpp"
 #include "vm/buddy_provider.hpp"
 
 namespace ptm::vm {
@@ -114,9 +115,15 @@ GuestKernel::handle_fault(Process &proc, std::uint64_t gvpn)
 
     check_memory_pressure();
 
-    return {.ok = true,
-            .frame = alloc.gfn,
-            .cycles = costs_.fault_base + costs_.zero_page + alloc.cycles};
+    Cycles total = costs_.fault_base + costs_.zero_page + alloc.cycles;
+    stats_.fault_latency.record(total);
+    if (trace_ != nullptr)
+        trace_->event_now("guest_fault", "kernel", total,
+                          {{"pid", static_cast<std::uint64_t>(proc.pid())},
+                           {"gvpn", gvpn},
+                           {"gfn", alloc.gfn}});
+
+    return {.ok = true, .frame = alloc.gfn, .cycles = total};
 }
 
 bool
@@ -270,7 +277,12 @@ GuestKernel::check_memory_pressure()
     if (pressure_agent_ != nullptr) {
         if (std::uint64_t target = pressure_agent_->pressure_tick()) {
             stats_.reclaim_runs.inc();
-            stats_.frames_reclaimed.inc(provider_->reclaim(target));
+            std::uint64_t reclaimed = provider_->reclaim(target);
+            stats_.frames_reclaimed.inc(reclaimed);
+            if (trace_ != nullptr)
+                trace_->event_now("reclaim_sweep", "kernel", 0,
+                                  {{"target", target},
+                                   {"reclaimed", reclaimed}});
         }
     }
 
@@ -286,7 +298,27 @@ GuestKernel::check_memory_pressure()
     if (target == 0)
         return;
     stats_.reclaim_runs.inc();
-    stats_.frames_reclaimed.inc(provider_->reclaim(target));
+    std::uint64_t reclaimed = provider_->reclaim(target);
+    stats_.frames_reclaimed.inc(reclaimed);
+    if (trace_ != nullptr)
+        trace_->event_now("reclaim_sweep", "kernel", 0,
+                          {{"target", target}, {"reclaimed", reclaimed}});
+}
+
+void
+GuestKernel::register_stats(obs::StatRegistry &registry,
+                            const std::string &prefix)
+{
+    const std::string k = prefix + ".kernel";
+    registry.counter(k + ".faults_handled", &stats_.faults_handled);
+    registry.counter(k + ".write_faults", &stats_.write_faults);
+    registry.counter(k + ".pages_mapped", &stats_.pages_mapped);
+    registry.counter(k + ".pages_freed", &stats_.pages_freed);
+    registry.counter(k + ".reclaim_runs", &stats_.reclaim_runs);
+    registry.counter(k + ".frames_reclaimed", &stats_.frames_reclaimed);
+    registry.counter(k + ".oom_events", &stats_.oom_events);
+    registry.histogram(k + ".fault_latency", &stats_.fault_latency);
+    buddy_.register_stats(registry, prefix + ".buddy");
 }
 
 }  // namespace ptm::vm

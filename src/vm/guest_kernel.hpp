@@ -23,8 +23,13 @@
 #include "mem/buddy_allocator.hpp"
 #include "mem/physical_memory.hpp"
 #include "mmu/nested_walker.hpp"
+#include "obs/stat_registry.hpp"
 #include "vm/page_provider.hpp"
 #include "vm/process.hpp"
+
+namespace ptm::obs {
+class TraceSink;
+}  // namespace ptm::obs
 
 namespace ptm::vm {
 
@@ -48,6 +53,8 @@ struct GuestKernelStats {
     Counter reclaim_runs;
     Counter frames_reclaimed;
     Counter oom_events;
+    /// Fault-to-mapped latency of each demand fault, in cycles.
+    Histogram fault_latency;
 };
 
 /// Watermarks controlling the reclamation daemon (§4.3). Zero disables.
@@ -151,6 +158,20 @@ class GuestKernel {
 
     const GuestKernelStats &stats() const { return stats_; }
 
+    /// Register kernel counters + fault-latency histogram under
+    /// "<prefix>.kernel.*" and the buddy allocator under
+    /// "<prefix>.buddy.*".
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix);
+
+    /**
+     * Arm (or with nullptr disarm) trace-event emission for faults and
+     * reclaim sweeps. The sink must outlive the kernel or be disarmed
+     * first; the kernel does not own it. Unarmed cost: one null check
+     * per fault.
+     */
+    void set_trace_sink(obs::TraceSink *sink) { trace_ = sink; }
+
     /// Sim-layer hook: invoked whenever a translation for (pid, gvpn)
     /// becomes stale and per-core TLBs must drop it.
     std::function<void(std::int32_t pid, std::uint64_t gvpn)>
@@ -179,6 +200,7 @@ class GuestKernel {
     std::unordered_map<std::uint64_t, std::uint32_t> shared_frames_;
     ReclaimPolicy reclaim_policy_;
     PressureAgent *pressure_agent_ = nullptr;  ///< normally unarmed
+    obs::TraceSink *trace_ = nullptr;          ///< normally unarmed
     GuestKernelStats stats_;
     std::int32_t next_pid_ = 1;
 };

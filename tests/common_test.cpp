@@ -141,13 +141,32 @@ TEST(Stats, AverageBasics)
 
 TEST(Stats, HistogramClampsOverflow)
 {
-    Histogram h(4);
-    h.sample(0);
-    h.sample(3);
-    h.sample(99);  // clamps into the last bucket
+    Histogram h(BucketPolicy::Linear, 4);
+    h.record(0);
+    h.record(3);
+    h.record(99);  // clamps into the last bucket
     EXPECT_EQ(h.bucket(0), 1u);
     EXPECT_EQ(h.bucket(3), 2u);
-    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 99u);
+}
+
+TEST(Stats, HistogramLog2Buckets)
+{
+    Histogram h;  // default: full-range Log2
+    EXPECT_EQ(h.policy(), BucketPolicy::Log2);
+    EXPECT_EQ(h.bucket_count(), Histogram::kLog2Buckets);
+    h.record(0);
+    h.record(1);
+    h.record(2);
+    h.record(3);
+    h.record(1024);
+    EXPECT_EQ(h.bucket(0), 1u);  // value 0
+    EXPECT_EQ(h.bucket(1), 1u);  // value 1
+    EXPECT_EQ(h.bucket(2), 2u);  // values 2..3
+    EXPECT_EQ(h.bucket(11), 1u);  // 1024 = 2^10, bit width 11
+    EXPECT_EQ(h.sum(), 1030u);
 }
 
 TEST(Stats, MetricSetPercentChange)

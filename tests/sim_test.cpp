@@ -44,9 +44,9 @@ TEST(SystemTest, JobRunsAndAccumulatesCycles)
     options.scale = 0.125;
     Job &job = system.add_job(workload::make_workload("gcc", options));
     system.run_ops(job, 1000);
-    EXPECT_GE(job.counters().ops.value(), 1000u);
-    EXPECT_GT(job.counters().cycles.value(),
-              job.counters().ops.value());
+    EXPECT_GE(job.stats().ops.value(), 1000u);
+    EXPECT_GT(job.stats().cycles.value(),
+              job.stats().ops.value());
     EXPECT_GT(system.guest().stats().faults_handled.value(), 0u);
     EXPECT_GT(system.host().stats().pages_backed.value(), 0u);
 }
