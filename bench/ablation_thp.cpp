@@ -15,37 +15,38 @@
  */
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "core/ptemagnet_provider.hpp"
 #include "sim/suite.hpp"
-#include "vm/huge_page_provider.hpp"
+#include "vm/provider_factory.hpp"
 
 namespace {
 
 using namespace ptm;
 
+/// Display label of each swept factory-name policy.
 const char *
-policy_label(sim::PagePolicy policy)
+policy_label(const std::string &policy)
 {
-    switch (policy) {
-      case sim::PagePolicy::Buddy: return "default buddy";
-      case sim::PagePolicy::Ptemagnet: return "PTEMagnet";
-      case sim::PagePolicy::ThpLike: return "THP-like eager";
-    }
-    return "?";
+    if (policy == "buddy")
+        return "default buddy";
+    if (policy == "ptemagnet")
+        return "PTEMagnet";
+    if (policy == "thp")
+        return "THP-like eager";
+    return policy.c_str();
 }
+
+const char *const kPolicies[] = {"buddy", "ptemagnet", "thp"};
 
 void
 dense_experiment()
 {
     using namespace ptm::sim;
 
-    const PagePolicy policies[] = {PagePolicy::Buddy,
-                                   PagePolicy::Ptemagnet,
-                                   PagePolicy::ThpLike};
-
     ExperimentSuite suite("ablation_thp");
-    for (PagePolicy policy : policies) {
+    for (const char *policy : kPolicies) {
         suite.add(policy_label(policy),
                   ScenarioConfig{}
                       .with_victim("pagerank")
@@ -80,25 +81,19 @@ dense_experiment()
 void
 sparse_experiment()
 {
-    using sim::PagePolicy;
-
     std::printf("\nSparse application: 32 MiB mapping, every 16th page "
                 "touched:\n");
     std::printf("%-16s %14s %18s %22s\n", "policy", "touched",
                 "frames consumed", "overhead vs touched");
 
-    for (PagePolicy policy : {PagePolicy::Buddy, PagePolicy::Ptemagnet,
-                              PagePolicy::ThpLike}) {
+    for (const std::string policy : kPolicies) {
         vm::GuestKernel guest(64 * 1024);
         core::PtemagnetProvider *magnet = nullptr;
-        if (policy == PagePolicy::Ptemagnet) {
-            auto provider =
-                std::make_unique<core::PtemagnetProvider>(&guest);
-            magnet = provider.get();
+        if (policy != "buddy") {
+            auto provider = vm::make_provider(policy, &guest, {});
+            magnet =
+                dynamic_cast<core::PtemagnetProvider *>(provider.get());
             guest.set_provider(std::move(provider));
-        } else if (policy == PagePolicy::ThpLike) {
-            guest.set_provider(
-                std::make_unique<vm::HugePageProvider>(&guest));
         }
 
         vm::Process &app = guest.create_process("sparse");

@@ -45,9 +45,9 @@ main()
     std::printf("(co-runner stopped after pagerank's allocation phase; "
                 "default kernel in both runs)\n\n");
 
-    print_change_table(standalone.metrics, colocated.metrics,
-                       "metric changes caused by fragmentation "
-                       "(colocated vs standalone):");
+    ptm::MetricSet::print_change_table(standalone.metrics, colocated.metrics,
+                                  "metric changes caused by fragmentation "
+                                  "(colocated vs standalone):");
 
     std::printf("\nhost PT fragmentation: %.2f (standalone) -> %.2f "
                 "(colocated)   [paper: 2.8 -> 6.8]\n",

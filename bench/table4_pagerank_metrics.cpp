@@ -29,8 +29,9 @@ main()
     std::printf("Table 4: pagerank + objdet, PTEMagnet vs default "
                 "kernel (co-runner active throughout)\n\n");
 
-    print_change_table(pair.baseline.metrics, pair.ptemagnet.metrics,
-                       "metric changes delivered by PTEMagnet:");
+    ptm::MetricSet::print_change_table(pair.baseline.metrics,
+                                  pair.ptemagnet.metrics,
+                                  "metric changes delivered by PTEMagnet:");
 
     std::printf("\nhost PT fragmentation: %.2f -> %.2f   "
                 "[paper: 3.4 -> 1.2, -66%%]\n",

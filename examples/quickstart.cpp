@@ -28,7 +28,7 @@ main(int argc, char **argv)
 
     ptm::sim::PairedResult pair = ptm::sim::run_paired(config);
 
-    ptm::sim::print_change_table(
+    ptm::MetricSet::print_change_table(
         pair.baseline.metrics, pair.ptemagnet.metrics,
         "PTEMagnet vs default kernel (" + victim + " + " + corunner + ")");
 

@@ -119,8 +119,9 @@ main(int argc, char **argv)
     SuiteResult result = suite.run(options);
     const PairedResult &pair = result.at(config.victim).paired;
 
-    print_change_table(pair.baseline.metrics, pair.ptemagnet.metrics,
-                       "PTEMagnet vs default kernel:");
+    ptm::MetricSet::print_change_table(pair.baseline.metrics,
+                                  pair.ptemagnet.metrics,
+                                  "PTEMagnet vs default kernel:");
     std::printf("\nimprovement: %.2f%%   fragmentation: %.2f -> %.2f   "
                 "buddy calls: %llu -> %llu\n",
                 pair.improvement_percent(),

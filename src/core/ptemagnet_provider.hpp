@@ -88,6 +88,12 @@ class PtemagnetProvider final : public vm::PhysicalPageProvider {
     /// §6.2 gauge: reserved-but-unmapped pages across all processes.
     std::uint64_t total_unmapped_reserved() const;
 
+    /// Factory-facing alias of the same gauge (memory-bloat axis).
+    std::uint64_t held_frames() const override
+    {
+        return total_unmapped_reserved();
+    }
+
     /// Total live reservations across all processes.
     std::uint64_t total_live_reservations() const;
 
@@ -95,7 +101,8 @@ class PtemagnetProvider final : public vm::PhysicalPageProvider {
 
     /// Register activity counters under "<prefix>.*".
     void
-    register_stats(obs::StatRegistry &registry, const std::string &prefix)
+    register_stats(obs::StatRegistry &registry,
+                   const std::string &prefix) override
     {
         registry.counter(prefix + ".part_hits", &stats_.part_hits);
         registry.counter(prefix + ".reservations_created",

@@ -3,13 +3,22 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "obs/trace_sink.hpp"
+#include "pt/table_factory.hpp"
 
 namespace ptm::host {
 
 VmInstance::VmInstance(std::int32_t id, pt::FrameSource pt_frames)
-    : id_(id),
-      page_table_(std::make_unique<pt::PageTable>(std::move(pt_frames)))
+    : VmInstance(id,
+                 std::make_unique<pt::PageTable>(std::move(pt_frames)))
 {
+}
+
+VmInstance::VmInstance(std::int32_t id,
+                       std::unique_ptr<pt::TranslationTable> table)
+    : id_(id), page_table_(std::move(table))
+{
+    if (!page_table_)
+        ptm_panic("vm %d created without a translation table", id_);
 }
 
 HostKernel::HostKernel(std::uint64_t host_frames, HostCostModel costs)
@@ -43,11 +52,26 @@ HostKernel::pt_frame_source(std::int32_t vm_id)
     };
 }
 
+void
+HostKernel::set_translation_table(const std::string &name,
+                                  PolicyParams params)
+{
+    if (!vms_.empty())
+        ptm_fatal("cannot change the host translation table with live VMs");
+    if (!pt::table_registered(name)) {
+        // Fail the same way make_table would, before a VM exists.
+        pt::make_table(name, pt_frame_source(0), params);
+    }
+    table_name_ = name;
+    table_params_ = std::move(params);
+}
+
 VmInstance &
 HostKernel::create_vm()
 {
     std::int32_t id = next_vm_id_++;
-    auto vm = std::make_unique<VmInstance>(id, pt_frame_source(id));
+    auto vm = std::make_unique<VmInstance>(
+        id, pt::make_table(table_name_, pt_frame_source(id), table_params_));
     VmInstance &ref = *vm;
     vms_.emplace(id, std::move(vm));
     return ref;

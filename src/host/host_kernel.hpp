@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 
+#include "common/params.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/buddy_allocator.hpp"
@@ -22,6 +23,7 @@
 #include "mmu/nested_walker.hpp"
 #include "obs/stat_registry.hpp"
 #include "pt/page_table.hpp"
+#include "pt/translation_table.hpp"
 
 namespace ptm::obs {
 class TraceSink;
@@ -44,18 +46,23 @@ struct HostKernelStats {
 /// guest frames to machine frames.
 class VmInstance {
   public:
+    /// Convenience: a VM with the default radix host page table.
     VmInstance(std::int32_t id, pt::FrameSource pt_frames);
 
+    /// A VM owning an explicit host translation table (factory-built).
+    VmInstance(std::int32_t id,
+               std::unique_ptr<pt::TranslationTable> table);
+
     std::int32_t id() const { return id_; }
-    pt::PageTable &page_table() { return *page_table_; }
-    const pt::PageTable &page_table() const { return *page_table_; }
+    pt::TranslationTable &page_table() { return *page_table_; }
+    const pt::TranslationTable &page_table() const { return *page_table_; }
 
     std::uint64_t backed_pages() const { return backed_pages_; }
     void note_backed() { ++backed_pages_; }
 
   private:
     std::int32_t id_;
-    std::unique_ptr<pt::PageTable> page_table_;
+    std::unique_ptr<pt::TranslationTable> page_table_;
     std::uint64_t backed_pages_ = 0;
 };
 
@@ -69,6 +76,15 @@ class HostKernel {
 
     /// Boot a VM (its guest-physical space is backed on demand).
     VmInstance &create_vm();
+
+    /**
+     * Select the host translation-table structure (pt::make_table name)
+     * used by VMs created from now on; defaults to "radix".
+     * @throws SimError if @p name is not registered.
+     */
+    void set_translation_table(const std::string &name,
+                               PolicyParams params = {});
+    const std::string &translation_table() const { return table_name_; }
 
     /**
      * Host page-fault path: back guest frame @p gfn of @p vm with a fresh
@@ -96,6 +112,8 @@ class HostKernel {
     HostCostModel costs_;
     mem::BuddyAllocator buddy_;
     mem::PhysicalMemory memory_;
+    std::string table_name_ = "radix";
+    PolicyParams table_params_;
     std::map<std::int32_t, std::unique_ptr<VmInstance>> vms_;
     obs::TraceSink *trace_ = nullptr;  ///< normally unarmed
     HostKernelStats stats_;

@@ -37,8 +37,9 @@ NestedWalker::host_translate(std::uint64_t gfn, TranslationResult &result)
     // (lazy allocation, §3.1), after which the walk restarts.
     stats_.host_walks.inc();
     for (unsigned attempt = 0; attempt < kMaxAttempts; ++attempt) {
-        std::array<pt::WalkStep, kPtLevels> &steps = host_steps_;
-        unsigned n = host_.page_table->walk(gfn, steps);
+        pt::WalkSteps &steps = host_steps_;
+        pt::WalkResult walk = host_.page_table->walk(gfn, steps);
+        unsigned n = walk.steps;
         for (unsigned i = 0; i < n; ++i) {
             cache::AccessResult access = hierarchy_->access(
                 core_, steps[i].entry_paddr, cache::AccessKind::HostPt);
@@ -52,7 +53,7 @@ NestedWalker::host_translate(std::uint64_t gfn, TranslationResult &result)
                 stats_.host_pt_level_mem.record(i);
             }
         }
-        if (n == kPtLevels && steps[n - 1].pte.present()) {
+        if (walk.complete) {
             std::uint64_t hfn = steps[n - 1].pte.frame();
             nested_tlb_.insert(gfn, hfn);
             return hfn;
@@ -74,17 +75,23 @@ std::optional<std::uint64_t>
 NestedWalker::walk_guest_once(GuestContext &guest, std::uint64_t gvpn,
                               TranslationResult &result)
 {
-    std::array<pt::WalkStep, kPtLevels> &steps = guest_steps_;
-    unsigned n = guest.page_table->walk(gvpn, steps);
+    pt::WalkSteps &steps = guest_steps_;
+    pt::WalkResult walk = guest.page_table->walk(gvpn, steps);
+    unsigned n = walk.steps;
 
     // The PWC can let the walker skip upper guest levels whose node it
     // already knows; it caches node frames, so validate the hit against
     // the current walk (a stale hit after unmap simply misses here).
+    // Non-radix tables have no stable level->node contract, so the PWC
+    // is bypassed for them (guest.use_pwc).
     unsigned start_level = 0;
-    if (std::optional<tlb::PageWalkCache::Hit> hit = pwc_.lookup(gvpn)) {
-        if (hit->resume_level < n &&
-            steps[hit->resume_level].node_frame == hit->node_frame) {
-            start_level = hit->resume_level;
+    if (guest.use_pwc) {
+        if (std::optional<tlb::PageWalkCache::Hit> hit =
+                pwc_.lookup(gvpn)) {
+            if (hit->resume_level < n &&
+                steps[hit->resume_level].node_frame == hit->node_frame) {
+                start_level = hit->resume_level;
+            }
         }
     }
 
@@ -123,16 +130,16 @@ NestedWalker::walk_guest_once(GuestContext &guest, std::uint64_t gvpn,
             return std::nullopt;  // retry the walk against the new PT state
         }
 
-        if (i + 1 < kPtLevels)
+        if (guest.use_pwc && i + 1 < n)
             pwc_.insert(gvpn, i, step.pte.frame());
     }
 
-    if (n < kPtLevels) {
-        // Non-present intermediate entry already handled above; n < levels
-        // with a present last step cannot happen.
+    if (!walk.complete) {
+        // An incomplete walk ends on a non-present entry, which is
+        // handled above; reaching here without completion cannot happen.
         ptm_panic("guest walk stopped early without fault");
     }
-    return steps[kPtLevels - 1].pte.frame();
+    return steps[n - 1].pte.frame();
 }
 
 TranslationResult

@@ -24,7 +24,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "obs/stat_registry.hpp"
-#include "pt/page_table.hpp"
+#include "pt/translation_table.hpp"
 #include "tlb/tlb.hpp"
 
 namespace ptm::mmu {
@@ -61,19 +61,22 @@ class FaultHook {
     void *ctx_ = nullptr;
 };
 
-/// The guest side of a translation: one process's page table plus its
-/// kernel's page-fault handler.
+/// The guest side of a translation: one process's translation table plus
+/// its kernel's page-fault handler.
 struct GuestContext {
-    pt::PageTable *page_table = nullptr;
+    pt::TranslationTable *page_table = nullptr;
     /// Handle a guest page fault on the faulting gvpn; must install a
     /// mapping.
     FaultHook fault_handler;
+    /// Consult/fill the page-walk cache. Only meaningful for tables with
+    /// radix_levels(); bound once at job creation from the table.
+    bool use_pwc = true;
 };
 
-/// The host side: the VM's host page table (guest-physical ->
+/// The host side: the VM's host translation table (guest-physical ->
 /// host-physical) and the host kernel's lazy-backing fault handler.
 struct HostContext {
-    pt::PageTable *page_table = nullptr;
+    pt::TranslationTable *page_table = nullptr;
     /// Handle a host page fault on the faulting guest frame number.
     FaultHook fault_handler;
 };
@@ -109,10 +112,11 @@ struct WalkerStats {
     Counter fault_cycles;          ///< cycles inside kernel fault handlers
     /// Hardware walk cycles per TLB-missing translation (log2 buckets).
     Histogram walk_cycles_hist;
-    /// Guest-PT level (0 = PML4) of node accesses served by main memory.
-    Histogram guest_pt_level_mem{BucketPolicy::Linear, kPtLevels};
-    /// Host-PT level (0 = PML4) of node accesses served by main memory.
-    Histogram host_pt_level_mem{BucketPolicy::Linear, kPtLevels};
+    /// Guest-PT step (radix level, or probe number for hashed tables) of
+    /// node accesses served by main memory.
+    Histogram guest_pt_level_mem{BucketPolicy::Linear, pt::kMaxWalkSteps};
+    /// Host-PT step of node accesses served by main memory.
+    Histogram host_pt_level_mem{BucketPolicy::Linear, pt::kMaxWalkSteps};
 };
 
 /**
@@ -182,8 +186,8 @@ class NestedWalker {
     // so the step arrays live here instead of being re-created per walk
     // (guest and host walks overlap — host_translate runs mid guest
     // walk — hence two buffers).
-    std::array<pt::WalkStep, kPtLevels> guest_steps_;
-    std::array<pt::WalkStep, kPtLevels> host_steps_;
+    pt::WalkSteps guest_steps_;
+    pt::WalkSteps host_steps_;
 };
 
 }  // namespace ptm::mmu

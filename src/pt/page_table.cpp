@@ -130,8 +130,7 @@ PageTable::update(std::uint64_t vpn, const PteFields &fields)
 }
 
 unsigned
-PageTable::walk(std::uint64_t vpn,
-                std::array<WalkStep, kPtLevels> &steps) const
+PageTable::walk_into(std::uint64_t vpn, WalkStep *steps) const
 {
     const Node *node = root_.get();
     unsigned count = 0;
@@ -155,6 +154,23 @@ PageTable::walk(std::uint64_t vpn,
         }
     }
     return count;
+}
+
+unsigned
+PageTable::walk(std::uint64_t vpn,
+                std::array<WalkStep, kPtLevels> &steps) const
+{
+    return walk_into(vpn, steps.data());
+}
+
+WalkResult
+PageTable::walk(std::uint64_t vpn, WalkSteps &steps) const
+{
+    unsigned n = walk_into(vpn, steps.data());
+    return WalkResult{
+        .steps = n,
+        .complete = n == kPtLevels && steps[n - 1].pte.present(),
+    };
 }
 
 std::optional<Addr>

@@ -15,10 +15,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "pt/pte.hpp"
+#include "pt/translation_table.hpp"
 
 namespace ptm::pt {
 
@@ -30,29 +32,12 @@ struct FrameSource {
     std::function<void(std::uint64_t)> release;
 };
 
-/// One step of a page walk, as seen by the hardware walker.
-struct WalkStep {
-    unsigned level = 0;        ///< 0 = root (PML4) .. 3 = leaf (PT)
-    std::uint64_t node_frame = 0;  ///< frame holding the node
-    unsigned index = 0;        ///< entry index within the node
-    Addr entry_paddr = 0;      ///< physical byte address of the entry
-    Pte pte;                   ///< entry value after the step
-};
-
-/// Table-population counters.
-struct PageTableStats {
-    Counter nodes_allocated;
-    Counter nodes_released;
-    Counter mappings;
-    Counter unmappings;
-};
-
 /**
  * The radix tree. Not thread-safe; the owning kernel serializes updates
  * (walks from the simulated hardware walker are reads and happen between
  * kernel operations in the deterministic schedule).
  */
-class PageTable {
+class PageTable final : public TranslationTable {
   public:
     /// Number of leaf-level entries covered by one table node.
     static constexpr unsigned kFanout = kPtesPerNode;
@@ -62,7 +47,7 @@ class PageTable {
      *               allocated eagerly (as the kernel does for a new mm).
      */
     explicit PageTable(FrameSource frames);
-    ~PageTable();
+    ~PageTable() override;
 
     PageTable(const PageTable &) = delete;
     PageTable &operator=(const PageTable &) = delete;
@@ -72,21 +57,25 @@ class PageTable {
      * on demand.
      * @return false if a node allocation failed (OOM).
      */
-    bool map(std::uint64_t vpn, const PteFields &fields);
+    bool map(std::uint64_t vpn, const PteFields &fields) override;
 
     /// Remove a translation; empty intermediate nodes are kept (as Linux
     /// does — PT pages are only freed at exit/unmap of whole regions).
-    void unmap(std::uint64_t vpn);
+    void unmap(std::uint64_t vpn) override;
 
     /// Current leaf entry for @p vpn, if the whole path exists.
-    std::optional<Pte> lookup(std::uint64_t vpn) const;
+    std::optional<Pte> lookup(std::uint64_t vpn) const override;
 
     /// Overwrite the leaf entry for an existing mapping (e.g. COW resolve).
-    bool update(std::uint64_t vpn, const PteFields &fields);
+    bool update(std::uint64_t vpn, const PteFields &fields) override;
+
+    /// TranslationTable walk: root to leaf, stopping after a non-present
+    /// entry; complete iff all four levels resolved.
+    WalkResult walk(std::uint64_t vpn, WalkSteps &steps) const override;
 
     /**
-     * Enumerate the node entries a hardware walker would touch translating
-     * @p vpn, root to leaf, stopping after a non-present entry.
+     * Radix-native walk into a kPtLevels-sized buffer (the historical
+     * signature; unit tests of the radix structure use it directly).
      * @return number of steps written to @p steps (1..4).
      */
     unsigned walk(std::uint64_t vpn,
@@ -97,15 +86,20 @@ class PageTable {
      * node exists (the entry itself may be non-present). Used by the
      * fragmentation metric, which is about PTE *placement*.
      */
-    std::optional<Addr> leaf_entry_paddr(std::uint64_t vpn) const;
+    std::optional<Addr> leaf_entry_paddr(std::uint64_t vpn) const override;
 
     /// Frame of the root node (CR3 equivalent).
-    std::uint64_t root_frame() const { return root_->frame; }
+    std::uint64_t root_frame() const override { return root_->frame; }
 
     /// Total nodes currently allocated, all levels.
-    std::uint64_t node_count() const { return node_count_; }
+    std::uint64_t node_count() const override { return node_count_; }
 
-    const PageTableStats &stats() const { return stats_; }
+    const PageTableStats &stats() const override { return stats_; }
+
+    std::string name() const override { return "radix"; }
+
+    /// The PWC contract holds by construction.
+    bool radix_levels() const override { return true; }
 
     /// Radix index of @p vpn at @p level (0 = root).
     static unsigned
@@ -136,6 +130,7 @@ class PageTable {
     std::unique_ptr<Node> make_node();
     void release_node(Node *node, unsigned level);
     const Node *descend(std::uint64_t vpn, unsigned to_level) const;
+    unsigned walk_into(std::uint64_t vpn, WalkStep *steps) const;
 
     FrameSource frames_;
     std::unique_ptr<Node> root_;

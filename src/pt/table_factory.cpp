@@ -1,0 +1,90 @@
+#include "pt/table_factory.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "pt/hashed_page_table.hpp"
+
+namespace ptm::pt {
+
+namespace {
+
+/// Meyers singleton so registrations from static initializers in any
+/// translation unit land in one map regardless of init order.
+std::map<std::string, TableCtor> &
+registry()
+{
+    static std::map<std::string, TableCtor> tables;
+    return tables;
+}
+
+std::string
+known_names()
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const auto &[name, ctor] : registry()) {
+        out << (first ? "" : ", ") << name;
+        first = false;
+    }
+    return out.str();
+}
+
+}  // namespace
+
+void
+register_table(const std::string &name, TableCtor ctor)
+{
+    registry()[name] = std::move(ctor);
+}
+
+bool
+table_registered(const std::string &name)
+{
+    return registry().count(name) != 0;
+}
+
+std::vector<std::string>
+registered_tables()
+{
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const auto &[name, ctor] : registry())
+        names.push_back(name);
+    return names;
+}
+
+std::unique_ptr<TranslationTable>
+make_table(const std::string &name, FrameSource frames,
+           const PolicyParams &params)
+{
+    auto it = registry().find(name);
+    if (it == registry().end())
+        ptm_throw("unknown translation table '%s' (registered: %s)",
+                  name.c_str(), known_names().c_str());
+    return it->second(std::move(frames), params);
+}
+
+// ---------------------------------------------------------------------
+// Built-in tables.
+
+namespace {
+
+const bool kBuiltinsRegistered = [] {
+    register_table("radix",
+                   [](FrameSource frames, const PolicyParams &) {
+                       return std::make_unique<PageTable>(std::move(frames));
+                   });
+    register_table("hashed", [](FrameSource frames,
+                                const PolicyParams &params) {
+        return std::make_unique<HashedPageTable>(
+            std::move(frames), params.get_u64("initial_frames", 4));
+    });
+    return true;
+}();
+
+}  // namespace
+
+}  // namespace ptm::pt

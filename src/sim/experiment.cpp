@@ -8,13 +8,15 @@
 
 #include "common/log.hpp"
 #include "core/ptemagnet_provider.hpp"
-#include "vm/huge_page_provider.hpp"
+#include "pt/table_factory.hpp"
+#include "vm/provider_factory.hpp"
 #include "workload/catalog.hpp"
 
 namespace ptm::sim {
 
+namespace detail {
 const char *
-page_policy_name(PagePolicy policy)
+policy_enum_name(PagePolicy policy)
 {
     switch (policy) {
       case PagePolicy::Buddy: return "buddy";
@@ -22,6 +24,30 @@ page_policy_name(PagePolicy policy)
       case PagePolicy::ThpLike: return "thp";
     }
     return "?";
+}
+}  // namespace detail
+
+ScenarioConfig &
+ScenarioConfig::with_policy(const std::string &name)
+{
+    if (!vm::provider_registered(name)) {
+        // Fail the same way run_scenario would, but at config-build time;
+        // the factory throws before it ever touches the (null) kernel.
+        vm::make_provider(name, nullptr, {});
+    }
+    policy_name = name;
+    return *this;
+}
+
+ScenarioConfig &
+ScenarioConfig::with_table(const std::string &name)
+{
+    if (!pt::table_registered(name)) {
+        // The factory throws before the frame source is ever invoked.
+        pt::make_table(name, pt::FrameSource{}, {});
+    }
+    platform.translation_table = name;
+    return *this;
 }
 
 namespace {
@@ -50,17 +76,11 @@ run_scenario(const ScenarioConfig &config)
         injector.emplace(config.fault_plan);
         system.arm_fault_injection(*injector);
     }
-    switch (config.policy) {
-      case PagePolicy::Buddy:
-        break;
-      case PagePolicy::Ptemagnet:
-        system.enable_ptemagnet(config.reservation_pages);
-        break;
-      case PagePolicy::ThpLike:
-        system.guest().set_provider(
-            std::make_unique<vm::HugePageProvider>(&system.guest()));
-        break;
-    }
+    // "buddy" keeps the kernel's built-in provider: no replacement, no
+    // "vm0.provider" registry subtree — bit-identical to historic runs.
+    const std::string policy = config.resolved_policy();
+    if (policy != "buddy")
+        system.set_policy(policy, config.resolved_policy_params());
 
     workload::WorkloadOptions options;
     options.scale = config.scale;
@@ -165,6 +185,7 @@ run_scenario(const ScenarioConfig &config)
             system.guest().buddy().stats().alloc_calls.value();
     }
 
+    result.provider_held_pages = system.guest().provider().held_frames();
     result.frames_reclaimed =
         system.guest().stats().frames_reclaimed.value();
     result.oom_events = system.guest().stats().oom_events.value();
@@ -209,10 +230,18 @@ PairedResult::improvement_percent() const
 PairedResult
 run_paired(ScenarioConfig config)
 {
+    // A config that names no treatment policy (or names the baseline
+    // itself) gets the paper's default comparison: buddy vs PTEMagnet.
+    std::string treatment = config.resolved_policy();
+    if (treatment == "buddy")
+        treatment = "ptemagnet";
+
     PairedResult result;
-    config.policy = PagePolicy::Buddy;
-    result.baseline = run_scenario(config);
-    config.policy = PagePolicy::Ptemagnet;
+    ScenarioConfig baseline = config;
+    baseline.policy = PagePolicy::Buddy;
+    baseline.policy_name = "buddy";
+    result.baseline = run_scenario(baseline);
+    config.policy_name = treatment;
     result.ptemagnet = run_scenario(config);
     return result;
 }

@@ -29,15 +29,33 @@ namespace ptm::sim {
 /// presets can be shared; the old sim-level name remains as an alias.
 using workload::CorunnerSpec;
 
-/// Guest physical-page allocation policy of a run.
+/**
+ * Guest physical-page allocation policy of a run.
+ *
+ * Deprecated as a configuration surface: policies are now chosen by
+ * factory name (ScenarioConfig::policy_name, vm::make_provider) so new
+ * policies need no enum edits. The enum survives one PR as a shim for
+ * configs that still set ScenarioConfig::policy.
+ */
 enum class PagePolicy {
     Buddy,      ///< default kernel: plain buddy allocation
     Ptemagnet,  ///< the paper's reservation-based policy
     ThpLike,    ///< eager 2 MiB backing (§2.3 comparison point)
 };
 
-/// Short lowercase name ("buddy", "ptemagnet", "thp") for reports.
-const char *page_policy_name(PagePolicy policy);
+namespace detail {
+/// Factory name of the legacy enum value ("buddy"/"ptemagnet"/"thp").
+const char *policy_enum_name(PagePolicy policy);
+}  // namespace detail
+
+/// Deprecated: policies are named strings now; use
+/// ScenarioConfig::resolved_policy() / the name directly.
+[[deprecated("use ScenarioConfig::policy_name strings")]]
+inline const char *
+page_policy_name(PagePolicy policy)
+{
+    return detail::policy_enum_name(policy);
+}
 
 /**
  * Declarative description of one run.
@@ -47,14 +65,24 @@ const char *page_policy_name(PagePolicy policy);
  *
  *     ScenarioConfig{}.with_victim("pagerank")
  *                     .with_corunner_preset("objdet8")
- *                     .with_scale(0.5)
+ *                     .with_policy("reserve_thp")
+ *                     .with_policy_param("promotion_threshold", 64)
+ *                     .with_table("hashed")
  *                     .with_measure_ops(600'000)
  */
 struct ScenarioConfig {
     std::string victim = "pagerank";    ///< catalog name
     std::vector<CorunnerSpec> corunners;
+    /// Legacy enum knob; consulted only while policy_name is empty.
     PagePolicy policy = PagePolicy::Buddy;
+    /// Allocation policy by factory name (vm::make_provider); empty
+    /// means "fall back to the legacy enum" (i.e. "buddy" by default).
+    std::string policy_name;
+    /// Policy-specific knobs, forwarded to the provider factory.
+    PolicyParams policy_params;
     /// Reservation granularity in pages (ablation; the paper uses 8).
+    /// Injected as policy param "group_pages" for ptemagnet runs unless
+    /// the param bag already sets one.
     unsigned reservation_pages = kPagesPerReservation;
     double scale = 1.0;                  ///< workload footprint multiplier
     std::uint64_t measure_ops = 1'500'000;  ///< victim ops measured
@@ -100,16 +128,43 @@ struct ScenarioConfig {
         corunners = workload::corunner_preset(preset);
         return *this;
     }
-    ScenarioConfig &
+    /**
+     * Select the allocation policy by factory name.
+     * @throws SimError listing registered names if @p name is unknown.
+     */
+    ScenarioConfig &with_policy(const std::string &name);
+    /// Deprecated: select policies by factory name.
+    [[deprecated("use with_policy(\"name\")")]] ScenarioConfig &
     with_policy(PagePolicy p)
     {
         policy = p;
+        return *this;
+    }
+    /// Set one policy-specific knob (repeatable).
+    ScenarioConfig &
+    with_policy_param(const std::string &key, double value)
+    {
+        policy_params.set(key, value);
+        return *this;
+    }
+    /**
+     * Select the translation-table structure by factory name (applies to
+     * both the guest and host tables of the run).
+     * @throws SimError listing registered names if @p name is unknown.
+     */
+    ScenarioConfig &with_table(const std::string &name);
+    /// Set one table-specific knob (repeatable).
+    ScenarioConfig &
+    with_table_param(const std::string &key, double value)
+    {
+        platform.table_params.set(key, value);
         return *this;
     }
     ScenarioConfig &
     with_ptemagnet(unsigned group_pages = kPagesPerReservation)
     {
         policy = PagePolicy::Ptemagnet;
+        policy_name = "ptemagnet";
         reservation_pages = group_pages;
         return *this;
     }
@@ -155,6 +210,33 @@ struct ScenarioConfig {
         fault_plan = std::move(plan);
         return *this;
     }
+
+    // ---- resolution -------------------------------------------------
+    /// Factory name this run will use: policy_name when set, else the
+    /// legacy enum's name.
+    std::string
+    resolved_policy() const
+    {
+        return policy_name.empty() ? detail::policy_enum_name(policy)
+                                   : policy_name;
+    }
+    /// Policy params with legacy knobs folded in (reservation_pages
+    /// becomes "group_pages" for ptemagnet runs).
+    PolicyParams
+    resolved_policy_params() const
+    {
+        PolicyParams params = policy_params;
+        if (resolved_policy() == "ptemagnet" && !params.has("group_pages"))
+            params.set("group_pages",
+                       static_cast<double>(reservation_pages));
+        return params;
+    }
+    /// Translation-table factory name of this run.
+    const std::string &
+    resolved_table() const
+    {
+        return platform.translation_table;
+    }
 };
 
 /// Everything a run reports.
@@ -174,6 +256,9 @@ struct ScenarioResult {
     std::uint64_t reservations_created = 0;
     std::uint64_t part_hits = 0;
     std::uint64_t buddy_calls = 0;
+    /// Provider-held but unmapped frames at run end (memory bloat axis
+    /// of the policy ablation; any reservation-style policy reports it).
+    std::uint64_t provider_held_pages = 0;
 
     // ---- robustness telemetry (nonzero only under an armed FaultPlan
     // or genuine memory exhaustion) -----------------------------------
@@ -205,13 +290,16 @@ struct ScenarioResult {
 ScenarioResult run_scenario(const ScenarioConfig &config);
 
 /**
- * Convenience for the Figure 6/7 bars: run @p config twice (baseline
- * buddy vs PTEMagnet, same seed) and return the pair. ExperimentSuite
- * (sim/suite.hpp) composes this primitive to run the two legs — and
- * whole suites of scenarios — concurrently.
+ * Convenience for the Figure 6/7 bars: run @p config twice with the same
+ * seed — once under the "buddy" baseline, once under the config's own
+ * policy (PTEMagnet when the config names none) — and return the pair.
+ * ExperimentSuite (sim/suite.hpp) composes this primitive to run the two
+ * legs — and whole suites of scenarios — concurrently.
  */
 struct PairedResult {
     ScenarioResult baseline;
+    /// Treatment leg (named `ptemagnet` for source compatibility; holds
+    /// whatever policy the config resolved to).
     ScenarioResult ptemagnet;
 
     /// Performance improvement as the paper defines it: reduction of

@@ -84,15 +84,4 @@ collect_metrics(const System &system, const Job &job)
     return m;
 }
 
-MetricSet
-collect_metrics(const Job &job, const host::VmInstance &vm)
-{
-    const System *system = job.system();
-    if (system == nullptr)
-        ptm_fatal("collect_metrics: job has no owning system");
-    if (&system->vm() != &vm)
-        ptm_fatal("collect_metrics: vm is not the job's system's VM");
-    return collect_metrics(*system, job);
-}
-
 }  // namespace ptm::sim

@@ -40,24 +40,4 @@ FragmentationReport host_pt_fragmentation(const vm::Process &proc,
  */
 MetricSet collect_metrics(const System &system, const Job &job);
 
-/// Deprecated: forwards to collect_metrics(system, job) via the job's
-/// owning system; @p vm must be that system's VM.
-[[deprecated("use collect_metrics(system, job)")]]
-MetricSet collect_metrics(const Job &job, const host::VmInstance &vm);
-
-/// Deprecated: use MetricSet::print.
-inline void
-print_metrics(const MetricSet &metrics, const std::string &title)
-{
-    metrics.print(title);
-}
-
-/// Deprecated: use MetricSet::print_change_table.
-inline void
-print_change_table(const MetricSet &baseline, const MetricSet &experiment,
-                   const std::string &title)
-{
-    MetricSet::print_change_table(baseline, experiment, title);
-}
-
 }  // namespace ptm::sim

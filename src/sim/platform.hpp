@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "cache/hierarchy.hpp"
+#include "common/params.hpp"
 #include "common/types.hpp"
 #include "host/host_kernel.hpp"
 #include "tlb/tlb.hpp"
@@ -43,6 +45,12 @@ struct PlatformConfig {
 
     /// Master seed for scheduler jitter and random replacement.
     std::uint64_t seed = 12345;
+
+    /// Translation structure for both the guest and host page tables,
+    /// by pt::make_table name ("radix", "hashed", ...).
+    std::string translation_table = "radix";
+    /// Table-specific knobs (e.g. "initial_frames" for "hashed").
+    PolicyParams table_params;
 };
 
 }  // namespace ptm::sim

@@ -35,6 +35,32 @@ apply_sweep_param(ScenarioConfig &config, const std::string &param,
         ptm_fatal("unknown sweep parameter '%s'", param.c_str());
 }
 
+/**
+ * Text-valued sweep axes: the factory-name parameters sweep registered
+ * names directly (with_policy/with_table validate and throw the listing
+ * SimError on unknowns); anything else must parse as a number and is
+ * forwarded to the numeric overload.
+ */
+void
+apply_sweep_param(ScenarioConfig &config, const std::string &param,
+                  const std::string &value)
+{
+    if (param == "policy") {
+        config.with_policy(value);
+        return;
+    }
+    if (param == "table") {
+        config.with_table(value);
+        return;
+    }
+    char *end = nullptr;
+    double numeric = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        ptm_fatal("sweep parameter '%s': non-numeric value '%s'",
+                  param.c_str(), value.c_str());
+    apply_sweep_param(config, param, numeric);
+}
+
 std::string
 format_sweep_value(double value)
 {
@@ -108,7 +134,10 @@ SuiteResult::to_json() const
         e.set("kind", entry.is_paired() ? "paired" : "single");
         if (!entry.entry.sweep_param.empty()) {
             e.set("sweep_param", entry.entry.sweep_param);
-            e.set("sweep_value", entry.entry.sweep_value);
+            if (!entry.entry.sweep_text.empty())
+                e.set("sweep_value", entry.entry.sweep_text);
+            else
+                e.set("sweep_value", entry.entry.sweep_value);
         }
         e.set("config", sim::to_json(entry.entry.config));
         e.set("status", entry.failed() ? "failed" : "ok");
@@ -188,7 +217,7 @@ ExperimentSuite::add(const std::string &name, ScenarioConfig config,
                       name_.c_str(), name.c_str());
     }
     entries_.push_back(
-        SuiteEntry{name, std::move(config), kind, "", 0.0});
+        SuiteEntry{name, std::move(config), kind, "", 0.0, ""});
     return entries_.back().config;
 }
 
@@ -205,6 +234,21 @@ ExperimentSuite::sweep(const std::string &label, const std::string &param,
         add(name, std::move(config), kind);
         entries_.back().sweep_param = param;
         entries_.back().sweep_value = value;
+    }
+}
+
+void
+ExperimentSuite::sweep(const std::string &label, const std::string &param,
+                       const std::vector<std::string> &values,
+                       ScenarioConfig base, RunKind kind)
+{
+    for (const std::string &value : values) {
+        ScenarioConfig config = base;
+        apply_sweep_param(config, param, value);
+        std::string name = label + "/" + param + "=" + value;
+        add(name, std::move(config), kind);
+        entries_.back().sweep_param = param;
+        entries_.back().sweep_text = value;
     }
 }
 
@@ -278,11 +322,18 @@ ExperimentSuite::run(const SuiteOptions &options) const
                 pool.submit([&run_leg, &slot]() {
                     ScenarioConfig config = slot.entry.config;
                     config.policy = PagePolicy::Buddy;
+                    config.policy_name = "buddy";
                     run_leg(slot, slot.paired.baseline, std::move(config));
                 });
                 pool.submit([&run_leg, &slot]() {
                     ScenarioConfig config = slot.entry.config;
-                    config.policy = PagePolicy::Ptemagnet;
+                    // Same treatment rule as run_paired: the config's own
+                    // policy, upgraded to PTEMagnet when it IS the
+                    // baseline.
+                    std::string treatment = config.resolved_policy();
+                    if (treatment == "buddy")
+                        treatment = "ptemagnet";
+                    config.policy_name = std::move(treatment);
                     run_leg(slot, slot.paired.ptemagnet,
                             std::move(config));
                 });
@@ -352,7 +403,21 @@ to_json(const ScenarioConfig &config)
         corunners.push_back(std::move(c));
     }
     j.set("corunners", std::move(corunners));
-    j.set("policy", page_policy_name(config.policy));
+    j.set("policy", config.resolved_policy());
+    if (!config.policy_params.empty()) {
+        Json params = Json::object();
+        for (const auto &[key, value] : config.policy_params.entries())
+            params.set(key, value);
+        j.set("policy_params", std::move(params));
+    }
+    j.set("table", config.resolved_table());
+    if (!config.platform.table_params.empty()) {
+        Json params = Json::object();
+        for (const auto &[key, value] :
+             config.platform.table_params.entries())
+            params.set(key, value);
+        j.set("table_params", std::move(params));
+    }
     j.set("reservation_pages", config.reservation_pages);
     j.set("scale", config.scale);
     j.set("measure_ops", config.measure_ops);
@@ -390,6 +455,7 @@ to_json(const ScenarioResult &result)
     j.set("reservations_created", result.reservations_created);
     j.set("part_hits", result.part_hits);
     j.set("buddy_calls", result.buddy_calls);
+    j.set("provider_held_pages", result.provider_held_pages);
 
     Json rob = Json::object();
     rob.set("fault_plan_armed", result.fault_plan_armed);
@@ -456,6 +522,10 @@ scenario_result_from_json(const Json &json)
         json.at("reservations_created").as_u64();
     result.part_hits = json.at("part_hits").as_u64();
     result.buddy_calls = json.at("buddy_calls").as_u64();
+    // Older BENCH files predate the memory-bloat axis; leave the zero.
+    if (json.contains("provider_held_pages"))
+        result.provider_held_pages =
+            json.at("provider_held_pages").as_u64();
 
     // Older BENCH files predate the robustness block; leave the zeros.
     if (json.contains("robustness")) {

@@ -41,7 +41,9 @@ namespace ptm::sim {
 /// How one registered scenario is executed.
 enum class RunKind {
     Single,  ///< one run with the config's own policy
-    Paired,  ///< two runs: buddy baseline vs PTEMagnet (Figure 6/7 bars)
+    /// Two runs: buddy baseline vs the config's own policy — PTEMagnet
+    /// when the config names none (the Figure 6/7 bars).
+    Paired,
 };
 
 /// One registered scenario.
@@ -50,7 +52,8 @@ struct SuiteEntry {
     ScenarioConfig config;
     RunKind kind = RunKind::Paired;
     std::string sweep_param;  ///< parameter name when part of a sweep
-    double sweep_value = 0.0; ///< parameter value when part of a sweep
+    double sweep_value = 0.0; ///< parameter value (numeric sweeps)
+    std::string sweep_text;   ///< parameter value (text sweeps)
 };
 
 /// Terminal state of one entry after run().
@@ -143,10 +146,10 @@ class ExperimentSuite {
     explicit ExperimentSuite(std::string name);
 
     /**
-     * Register scenario @p name. Paired entries ignore `config.policy`
-     * (the driver runs both legs); Single entries run it as configured.
-     * Returns the stored config for further tweaks. Duplicate names are
-     * fatal.
+     * Register scenario @p name. Paired entries run a buddy baseline leg
+     * against the config's own policy (PTEMagnet when none is named);
+     * Single entries run exactly as configured. Returns the stored
+     * config for further tweaks. Duplicate names are fatal.
      */
     ScenarioConfig &add(const std::string &name, ScenarioConfig config,
                         RunKind kind = RunKind::Paired);
@@ -162,6 +165,20 @@ class ExperimentSuite {
     void sweep(const std::string &label, const std::string &param,
                const std::vector<double> &values, ScenarioConfig base,
                RunKind kind = RunKind::Paired);
+
+    /**
+     * Text-valued parameter sweep, for the factory-name axes: "policy"
+     * sweeps ScenarioConfig::with_policy over registered allocation
+     * policies, "table" sweeps with_table over translation structures —
+     * both fail fast (SimError listing registered names) on unknown
+     * values. Any numeric parameter of the double overload also works
+     * with its value spelled as text. Entries are named
+     * "<label>/<param>=<value>" and default to RunKind::Single, since a
+     * swept policy IS the run's treatment.
+     */
+    void sweep(const std::string &label, const std::string &param,
+               const std::vector<std::string> &values, ScenarioConfig base,
+               RunKind kind = RunKind::Single);
 
     /**
      * Execute every registered scenario on a thread pool. Reentrant:

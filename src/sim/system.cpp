@@ -4,6 +4,7 @@
 #include "core/ptemagnet_provider.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/fault_injection.hpp"
+#include "vm/provider_factory.hpp"
 
 namespace ptm::sim {
 
@@ -60,9 +61,17 @@ System::System(const PlatformConfig &config, unsigned num_cores)
 {
     host_ = std::make_unique<host::HostKernel>(config_.host_frames,
                                                config_.host_costs);
+    if (config_.translation_table != "radix") {
+        host_->set_translation_table(config_.translation_table,
+                                     config_.table_params);
+    }
     vm_ = &host_->create_vm();
     guest_ = std::make_unique<vm::GuestKernel>(config_.guest_frames,
                                                config_.guest_costs);
+    if (config_.translation_table != "radix") {
+        guest_->set_translation_table(config_.translation_table,
+                                      config_.table_params);
+    }
     hierarchy_ = std::make_unique<cache::MemoryHierarchy>(
         config_.hierarchy, num_cores, &rng_);
 
@@ -92,15 +101,23 @@ System::System(const PlatformConfig &config, unsigned num_cores)
 System::~System() = default;
 
 void
-System::enable_ptemagnet(unsigned group_pages)
+System::set_policy(const std::string &name, const PolicyParams &params)
 {
     if (!jobs_.empty())
-        ptm_fatal("enable PTEMagnet before adding jobs");
-    auto provider = std::make_unique<core::PtemagnetProvider>(
-        guest_.get(), group_pages);
-    ptemagnet_ = provider.get();
-    ptemagnet_->register_stats(registry_, "vm0.provider");
+        ptm_fatal("set the allocation policy before adding jobs");
+    std::unique_ptr<vm::PhysicalPageProvider> provider =
+        vm::make_provider(name, guest_.get(), params);
+    ptemagnet_ = dynamic_cast<core::PtemagnetProvider *>(provider.get());
+    provider->register_stats(registry_, "vm0.provider");
     guest_->set_provider(std::move(provider));
+}
+
+void
+System::enable_ptemagnet(unsigned group_pages)
+{
+    set_policy("ptemagnet",
+               PolicyParams{{"group_pages",
+                             static_cast<double>(group_pages)}});
 }
 
 void
@@ -164,6 +181,8 @@ System::make_job(vm::Process &process,
         .page_table = &process.page_table(),
         .fault_handler =
             mmu::FaultHook(&System::guest_fault_thunk, job.get()),
+        // The PWC's resume contract only holds for radix hierarchies.
+        .use_pwc = process.page_table().radix_levels(),
     };
     job->workload_ctx_ =
         std::make_unique<JobWorkloadContext>(this, job.get());

@@ -44,9 +44,6 @@ struct JobStats {
     Counter data_cycles;
 };
 
-/// Deprecated name, kept for source compatibility; use JobStats.
-using JobCounters = JobStats;
-
 class System;
 
 /**
@@ -68,13 +65,6 @@ class Job {
     void set_paused(bool paused) { paused_ = paused; }
 
     const JobStats &stats() const { return stats_; }
-
-    /// Deprecated alias for stats(); stat ownership moved to the
-    /// registry, which also performs the measurement-window reset.
-    [[deprecated("use stats()")]] const JobStats &counters() const
-    {
-        return stats_;
-    }
 
     /// Registry path prefix of this job's stats ("vm0.core<N>").
     const std::string &stat_prefix() const { return stat_prefix_; }
@@ -115,7 +105,17 @@ class System {
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
+    /**
+     * Install the guest allocation policy by factory name (call before
+     * any job exists, at most once per System). Registers the provider's
+     * counters under "vm0.provider".
+     * @throws SimError if @p name is not registered.
+     */
+    void set_policy(const std::string &name,
+                    const PolicyParams &params = {});
+
     /// Switch the guest kernel to PTEMagnet (call before any job runs).
+    /// Equivalent to set_policy("ptemagnet", {{"group_pages", ...}}).
     /// @param group_pages reservation granularity (ablation knob).
     void enable_ptemagnet(unsigned group_pages = kPagesPerReservation);
     bool ptemagnet_enabled() const { return ptemagnet_ != nullptr; }

@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "obs/trace_sink.hpp"
+#include "pt/table_factory.hpp"
 #include "vm/buddy_provider.hpp"
 
 namespace ptm::vm {
@@ -26,6 +27,21 @@ GuestKernel::set_provider(std::unique_ptr<PhysicalPageProvider> provider)
     if (!provider)
         ptm_fatal("null page provider");
     provider_ = std::move(provider);
+}
+
+void
+GuestKernel::set_translation_table(const std::string &name,
+                                   PolicyParams params)
+{
+    if (!processes_.empty())
+        ptm_fatal("cannot change the translation table with live "
+                  "processes");
+    if (!pt::table_registered(name)) {
+        // Fail the same way make_table would, before a process exists.
+        pt::make_table(name, pt_frame_source(0), params);
+    }
+    table_name_ = name;
+    table_params_ = std::move(params);
 }
 
 pt::FrameSource
@@ -53,7 +69,9 @@ Process &
 GuestKernel::create_process(const std::string &name)
 {
     std::int32_t pid = next_pid_++;
-    auto proc = std::make_unique<Process>(pid, name, pt_frame_source(pid));
+    auto proc = std::make_unique<Process>(
+        pid, name,
+        pt::make_table(table_name_, pt_frame_source(pid), table_params_));
     Process &ref = *proc;
     processes_.emplace(pid, std::move(proc));
     return ref;

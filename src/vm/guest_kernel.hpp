@@ -18,6 +18,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/params.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/buddy_allocator.hpp"
@@ -95,6 +96,16 @@ class GuestKernel {
     /// fault is handled; defaults to the plain buddy provider.
     void set_provider(std::unique_ptr<PhysicalPageProvider> provider);
     PhysicalPageProvider &provider() { return *provider_; }
+
+    /**
+     * Select the translation-table structure (pt::make_table name) used
+     * by processes created from now on. Must be called before any process
+     * exists; defaults to "radix".
+     * @throws SimError if @p name is not registered.
+     */
+    void set_translation_table(const std::string &name,
+                               PolicyParams params = {});
+    const std::string &translation_table() const { return table_name_; }
 
     /// Spawn a new process.
     Process &create_process(const std::string &name);
@@ -195,6 +206,8 @@ class GuestKernel {
     mem::BuddyAllocator buddy_;
     mem::PhysicalMemory memory_;
     std::unique_ptr<PhysicalPageProvider> provider_;
+    std::string table_name_ = "radix";
+    PolicyParams table_params_;
     std::map<std::int32_t, std::unique_ptr<Process>> processes_;
     /// COW frame reference counts (only frames shared by >= 2 mappings).
     std::unordered_map<std::uint64_t, std::uint32_t> shared_frames_;

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/stat_registry.hpp"
 #include "vm/guest_kernel.hpp"
 
 namespace ptm::vm {
@@ -117,6 +118,26 @@ HugePageProvider::unused_backed_pages(std::int32_t pid) const
             total += frames.size();
     }
     return total;
+}
+
+std::uint64_t
+HugePageProvider::held_frames() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[key, frames] : leftovers_)
+        total += frames.size();
+    return total;
+}
+
+void
+HugePageProvider::register_stats(obs::StatRegistry &registry,
+                                 const std::string &prefix)
+{
+    registry.counter(prefix + ".regions_backed", &stats_.regions_backed);
+    registry.counter(prefix + ".pages_eager_mapped",
+                     &stats_.pages_eager_mapped);
+    registry.counter(prefix + ".fallback_singles",
+                     &stats_.fallback_singles);
 }
 
 void

@@ -47,6 +47,12 @@ class HugePageProvider final : public PhysicalPageProvider {
     void on_process_exit(Process &proc) override;
     std::string name() const override { return "thp-like"; }
 
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix) override;
+
+    /// Backed-but-unmapped frames across all processes (memory bloat).
+    std::uint64_t held_frames() const override;
+
     const HugePageStats &stats() const { return stats_; }
 
     /// Frames backed for @p pid that no mapping uses — the internal

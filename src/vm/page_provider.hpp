@@ -15,6 +15,10 @@
 
 #include "common/types.hpp"
 
+namespace ptm::obs {
+class StatRegistry;
+}  // namespace ptm::obs
+
 namespace ptm::vm {
 
 class Process;
@@ -72,6 +76,22 @@ class PhysicalPageProvider {
 
     /// Human-readable policy name (appears in reports).
     virtual std::string name() const = 0;
+
+    /// Register provider counters under "<prefix>.*". Default: nothing
+    /// (stateless policies have nothing to report).
+    virtual void
+    register_stats(obs::StatRegistry &registry, const std::string &prefix)
+    {
+        (void)registry;
+        (void)prefix;
+    }
+
+    /**
+     * Frames the provider currently retains that no mapping uses
+     * (parked reservation tails, eager-backed leftovers). This is the
+     * "memory bloat" axis of the policy ablation.
+     */
+    virtual std::uint64_t held_frames() const { return 0; }
 };
 
 }  // namespace ptm::vm

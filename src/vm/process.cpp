@@ -6,9 +6,17 @@ namespace ptm::vm {
 
 Process::Process(std::int32_t pid, std::string name,
                  pt::FrameSource pt_frames)
-    : pid_(pid), name_(std::move(name)),
-      page_table_(std::make_unique<pt::PageTable>(std::move(pt_frames)))
+    : Process(pid, std::move(name),
+              std::make_unique<pt::PageTable>(std::move(pt_frames)))
 {
+}
+
+Process::Process(std::int32_t pid, std::string name,
+                 std::unique_ptr<pt::TranslationTable> table)
+    : pid_(pid), name_(std::move(name)), page_table_(std::move(table))
+{
+    if (!page_table_)
+        ptm_panic("process %d created without a translation table", pid_);
 }
 
 void

@@ -12,6 +12,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "pt/page_table.hpp"
+#include "pt/translation_table.hpp"
 #include "vm/virtual_address_space.hpp"
 
 namespace ptm::vm {
@@ -25,7 +26,12 @@ struct ProcessStats {
 
 class Process {
   public:
+    /// Convenience: a process with the default radix page table.
     Process(std::int32_t pid, std::string name, pt::FrameSource pt_frames);
+
+    /// A process owning an explicit translation table (factory-built).
+    Process(std::int32_t pid, std::string name,
+            std::unique_ptr<pt::TranslationTable> table);
 
     std::int32_t pid() const { return pid_; }
     const std::string &name() const { return name_; }
@@ -33,8 +39,8 @@ class Process {
     VirtualAddressSpace &vas() { return vas_; }
     const VirtualAddressSpace &vas() const { return vas_; }
 
-    pt::PageTable &page_table() { return *page_table_; }
-    const pt::PageTable &page_table() const { return *page_table_; }
+    pt::TranslationTable &page_table() { return *page_table_; }
+    const pt::TranslationTable &page_table() const { return *page_table_; }
 
     /// Resident pages (mapped data pages).
     std::uint64_t rss_pages() const { return rss_pages_; }
@@ -57,7 +63,7 @@ class Process {
     std::int32_t parent_pid_ = -1;
     Addr memory_limit_bytes_ = 0;
     VirtualAddressSpace vas_;
-    std::unique_ptr<pt::PageTable> page_table_;
+    std::unique_ptr<pt::TranslationTable> page_table_;
     std::uint64_t rss_pages_ = 0;
     ProcessStats stats_;
 };

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reservation-based THP: reserve a 2 MiB block on first touch, map pages
+ * lazily, promote (eagerly map the remainder) once the region proves hot.
+ *
+ * The middle ground between PTEMagnet's small reservations and the
+ * eager-everything THP model (§2.3): first touch of a 2 MiB virtual
+ * region reserves an aligned 512-frame block but maps only the faulting
+ * page; later faults in the region are served from the reservation
+ * (keeping the region physically contiguous, like a FreeBSD-style
+ * reservation system). When promotion_threshold pages of a region have
+ * been demand-faulted, the region is promoted: every remaining page
+ * inside a VMA is eagerly mapped, THP-style. If no aligned block is
+ * available (fragmentation), the fault falls back to a plain 4 KiB buddy
+ * allocation.
+ *
+ * Parameters (PolicyParams): "promotion_threshold" — demand faults per
+ * region before promotion (default 64; 0 disables promotion, leaving a
+ * purely lazy reservation policy).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "vm/page_provider.hpp"
+
+namespace ptm::vm {
+
+class GuestKernel;
+
+/// Reserve-THP activity counters.
+struct ReserveThpStats {
+    Counter reservations_created;  ///< order-9 blocks reserved
+    Counter reservation_hits;      ///< faults served from a reservation
+    Counter promotions;            ///< regions promoted to eager mapping
+    Counter pages_eager_mapped;    ///< pages mapped by promotion
+    Counter fallback_singles;      ///< no order-9 block: plain 4 KiB path
+    Counter frames_reclaimed;      ///< held frames released under pressure
+};
+
+class ReserveThpProvider final : public PhysicalPageProvider {
+  public:
+    /// Pages per reserved region: 2 MiB / 4 KiB.
+    static constexpr unsigned kRegionPages = 512;
+    /// Buddy order of one region.
+    static constexpr unsigned kRegionOrder = 9;
+
+    explicit ReserveThpProvider(GuestKernel *kernel,
+                                std::uint64_t promotion_threshold = 64);
+
+    AllocOutcome allocate_page(Process &proc, std::uint64_t gvpn) override;
+    FreeDisposition on_page_freed(Process &proc, std::uint64_t gvpn,
+                                  std::uint64_t gfn) override;
+    void on_process_exit(Process &proc) override;
+    std::uint64_t reclaim(std::uint64_t target_frames) override;
+    std::string name() const override { return "reserve-thp"; }
+
+    void register_stats(obs::StatRegistry &registry,
+                        const std::string &prefix) override;
+    std::uint64_t held_frames() const override;
+
+    const ReserveThpStats &stats() const { return stats_; }
+    std::uint64_t promotion_threshold() const
+    {
+        return promotion_threshold_;
+    }
+
+  private:
+    /// One reserved 2 MiB region of one process.
+    struct Region {
+        std::uint64_t base = 0;  ///< first frame of the reserved block
+        /// Parked frames by page offset (reserved, not yet mapped).
+        std::unordered_map<unsigned, std::uint64_t> held;
+        std::uint64_t demand_faults = 0;
+        bool promoted = false;
+    };
+
+    AllocOutcome plain_single();
+    void maybe_promote(Process &proc, std::uint64_t region_index,
+                       Region &region);
+    void release_held(Region &region);
+
+    GuestKernel *kernel_;
+    std::uint64_t promotion_threshold_;
+    /// (pid << 40 | region) -> reservation state. Ordered so reclaim and
+    /// exit sweep deterministically.
+    std::map<std::uint64_t, Region> regions_;
+    ReserveThpStats stats_;
+};
+
+}  // namespace ptm::vm

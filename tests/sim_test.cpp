@@ -29,7 +29,7 @@ small_scenario(const std::string &victim, bool ptemagnet)
     ScenarioConfig config;
     config.victim = victim;
     config.corunners = {{"objdet", 4}};
-    config.policy = ptemagnet ? PagePolicy::Ptemagnet : PagePolicy::Buddy;
+    config.policy_name = ptemagnet ? "ptemagnet" : "buddy";
     config.scale = 0.125;
     config.measure_ops = 60'000;
     config.corunner_warmup_ops = 20'000;

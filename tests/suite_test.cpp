@@ -314,7 +314,8 @@ TEST(SuiteTest, FluentConfigBuildsDeclaratively)
     EXPECT_EQ(config.victim, "xz");
     EXPECT_EQ(config.corunners.size(),
               workload::corunner_preset("combo").size());
-    EXPECT_EQ(config.policy, PagePolicy::Ptemagnet);
+    EXPECT_EQ(config.resolved_policy(), "ptemagnet");
+    EXPECT_EQ(config.resolved_policy_params().get_u64("group_pages"), 16u);
     EXPECT_EQ(config.reservation_pages, 16u);
     EXPECT_DOUBLE_EQ(config.scale, 0.25);
     EXPECT_EQ(config.measure_ops, 1234u);
