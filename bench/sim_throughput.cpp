@@ -54,9 +54,13 @@ main(int argc, char **argv)
     using namespace ptm::sim;
 
     bool smoke = std::getenv("PTM_SMOKE") != nullptr;
+    const char *floor_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--enforce-floor") == 0 &&
+                 i + 1 < argc)
+            floor_path = argv[++i];
     }
 
     // The acceptance scenario: pagerank victim colocated with objdet
@@ -68,6 +72,13 @@ main(int argc, char **argv)
                                .with_scale(smoke ? 0.05 : 0.4)
                                .with_measure_ops(smoke ? 20'000 : 2'000'000)
                                .with_warmup_ops(smoke ? 5'000 : 100'000);
+    // Throughput configuration: a coarser scheduling quantum and a deep
+    // walk register file so dispatch batches actually reach the WRF
+    // depth (the experiment default slice_ops=2 caps batches at 2 ops).
+    // The bench measures simulator speed, not a paper figure, so the
+    // interleave change is free.
+    mixed.platform.slice_ops = 64;
+    mixed.platform.walk_batch = 16;
     if (smoke) {
         mixed.platform.guest_frames = 16 * 1024;
         mixed.platform.host_frames = 24 * 1024;
@@ -90,10 +101,62 @@ main(int argc, char **argv)
                             entry.paired.ptemagnet.total_ops);
     double total_seconds = entry.paired.baseline.host_seconds +
                            entry.paired.ptemagnet.host_seconds;
+    double combined = 0.0;
     if (total_seconds > 0.0) {
+        combined = total_ops / total_seconds;
         std::printf("sim_throughput: combined  ops_per_sec=%.0f\n",
-                    total_ops / total_seconds);
+                    combined);
     }
+
+    // CI regression gate: --enforce-floor <file> names a checked-in
+    // ops/sec floor (one number; '#' comments allowed). The run fails if
+    // combined throughput drops more than 20% below it — wide enough for
+    // shared-runner noise, tight enough to catch real hot-path
+    // regressions. Raise the floor when the simulator gets faster.
+    if (floor_path != nullptr) {
+        double floor = 0.0;
+        std::FILE *f = std::fopen(floor_path, "r");
+        check(f != nullptr, "floor file opens");
+        if (f != nullptr) {
+            char line[256];
+            while (std::fgets(line, sizeof line, f) != nullptr) {
+                if (line[0] == '#' || line[0] == '\n')
+                    continue;
+                floor = std::strtod(line, nullptr);
+                break;
+            }
+            std::fclose(f);
+        }
+        check(floor > 0.0, "floor file holds a positive ops/sec number");
+        std::printf("sim_throughput: floor     ops_per_sec=%.0f "
+                    "(enforcing >= 80%%: %.0f)\n",
+                    floor, 0.8 * floor);
+        check(combined >= 0.8 * floor,
+              "combined ops/sec within 20% of the checked-in floor");
+    }
+
+    // Stage breakdown side-run: same scenario at reduced length with the
+    // host-side stage timers armed. Separate from the headline legs so
+    // the clock reads never perturb the reported throughput.
+    ScenarioConfig timed = mixed;
+    timed.platform.stage_timing = true;
+    timed.with_measure_ops(smoke ? 5'000 : 400'000)
+        .with_warmup_ops(smoke ? 1'000 : 50'000);
+    ScenarioResult timed_result = run_scenario(timed);
+    const StageTimes &stages = timed_result.stage_times;
+    if (stages.total_ns() > 0) {
+        double total = static_cast<double>(stages.total_ns());
+        std::printf("sim_throughput: stages    dispatch=%.1f%% "
+                    "walk=%.1f%% retire=%.1f%% stats=%.1f%% "
+                    "(side-run, %llu ops)\n",
+                    100.0 * static_cast<double>(stages.dispatch_ns) / total,
+                    100.0 * static_cast<double>(stages.walk_ns) / total,
+                    100.0 * static_cast<double>(stages.retire_ns) / total,
+                    100.0 * static_cast<double>(stages.stats_ns) / total,
+                    static_cast<unsigned long long>(
+                        timed_result.total_ops));
+    }
+    check(stages.total_ns() > 0, "stage timers recorded the side-run");
 
     if (failures == 0)
         std::printf("sim_throughput: OK (%s mode)\n",

@@ -42,8 +42,25 @@ Cache::Cache(const CacheGeometry &geometry, Rng *rng)
     set_stride_ = ways_ + repl_words_;
 
     slab_.assign(static_cast<std::size_t>(num_sets_) * set_stride_, 0);
-    valid_.assign(static_cast<std::size_t>(num_sets_) * ways_, 0);
     live_.assign(num_sets_, 0);
+    hint_.assign(num_sets_, 0);
+    reset_tags();
+}
+
+void
+Cache::reset_tags()
+{
+    // Tags to the empty sentinel, replacement state to zero. Stale
+    // replacement state is never consulted: a set refills through the
+    // empty-way scan, and every install touches its way first.
+    for (std::uint64_t set = 0; set < num_sets_; ++set) {
+        std::uint64_t *tags = set_tags(set);
+        for (unsigned w = 0; w < ways_; ++w)
+            tags[w] = kInvalidTag;
+        for (unsigned r = 0; r < repl_words_; ++r)
+            tags[ways_ + r] = 0;
+    }
+    memo_line_ = ~0ULL;
 }
 
 bool
@@ -53,7 +70,7 @@ Cache::probe(std::uint64_t line) const
     const std::uint64_t tag = line >> set_shift_;
     const std::uint64_t *tags = set_tags(set);
     for (unsigned w = 0; w < ways_; ++w) {
-        if (tags[w] == tag && valid_[set * ways_ + w] != 0)
+        if (tags[w] == tag)
             return true;
     }
     return false;
@@ -62,11 +79,13 @@ Cache::probe(std::uint64_t line) const
 void
 Cache::fill(std::uint64_t line)
 {
+    // The install may evict the memoized line, so drop the memo.
+    memo_line_ = ~0ULL;
     const std::uint64_t set = line & (num_sets_ - 1);
     const std::uint64_t tag = line >> set_shift_;
     const std::uint64_t *tags = set_tags(set);
     for (unsigned w = 0; w < ways_; ++w) {
-        if (tags[w] == tag && valid_[set * ways_ + w] != 0)
+        if (tags[w] == tag)
             return;
     }
     install(set, tag);
@@ -75,12 +94,13 @@ Cache::fill(std::uint64_t line)
 void
 Cache::invalidate(std::uint64_t line)
 {
+    memo_line_ = ~0ULL;
     const std::uint64_t set = line & (num_sets_ - 1);
     const std::uint64_t tag = line >> set_shift_;
-    const std::uint64_t *tags = set_tags(set);
+    std::uint64_t *tags = set_tags(set);
     for (unsigned w = 0; w < ways_; ++w) {
-        if (tags[w] == tag && valid_[set * ways_ + w] != 0) {
-            valid_[set * ways_ + w] = 0;
+        if (tags[w] == tag) {
+            tags[w] = kInvalidTag;
             --live_[set];
             return;
         }
@@ -90,7 +110,7 @@ Cache::invalidate(std::uint64_t line)
 void
 Cache::flush()
 {
-    std::fill(valid_.begin(), valid_.end(), static_cast<std::uint8_t>(0));
+    reset_tags();
     std::fill(live_.begin(), live_.end(), 0u);
 }
 

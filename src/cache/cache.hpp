@@ -73,6 +73,11 @@ struct CacheStats {
  */
 class Cache {
   public:
+    /// Tag stored in empty ways. Unreachable by real lines: a tag is
+    /// line >> set_shift_ and lines are physical addresses >> 6, so a
+    /// real all-ones tag would need a ~2^70-byte address space.
+    static constexpr std::uint64_t kInvalidTag = ~0ULL;
+
     /// @param rng required only for random replacement; may be null.
     Cache(const CacheGeometry &geometry, Rng *rng = nullptr);
 
@@ -84,22 +89,45 @@ class Cache {
     bool
     access(std::uint64_t line, AccessKind kind)
     {
+        // Same-line repeat: the previous access left this line resident
+        // and MRU (hit or install), and nothing was installed or
+        // invalidated since — a guaranteed hit whose recency touch would
+        // be an order-preserving no-op (it is already the newest entry
+        // of its set). Sequential workloads revisit a line for ~8
+        // consecutive ops, so this skips most tag-scan work.
+        if (line == memo_line_) {
+            stats_.hits[static_cast<unsigned>(kind)].inc();
+            return true;
+        }
         const std::uint64_t set = line & (num_sets_ - 1);
         const std::uint64_t tag = line >> set_shift_;
         const std::uint64_t *tags = set_tags(set);
+        // MRU shortcut: a tag lives in at most one way of its set, so
+        // probing the last-hit way first cannot change the outcome —
+        // and temporal locality makes it the common case.
+        const unsigned hint = hint_[set];
+        if (tags[hint] == tag) {
+            touch(set, hint);
+            stats_.hits[static_cast<unsigned>(kind)].inc();
+            memo_line_ = line;
+            return true;
+        }
         for (unsigned w = 0; w < ways_; ++w) {
-            // Tag first: equal tags are rare, so the valid byte is only
-            // consulted on a candidate match (stale tags of invalidated
-            // ways are rejected by it).
-            if (tags[w] == tag &&
-                valid_[set * ways_ + w] != 0) {
+            // Empty ways hold kInvalidTag, so the tag compare alone
+            // decides: no separate valid-bit load on the hot loop.
+            if (tags[w] == tag) {
+                hint_[set] = static_cast<std::uint8_t>(w);
                 touch(set, w);
                 stats_.hits[static_cast<unsigned>(kind)].inc();
+                memo_line_ = line;
                 return true;
             }
         }
         stats_.misses[static_cast<unsigned>(kind)].inc();
         install(set, tag);
+        // The install leaves the line resident and MRU, so a repeat
+        // access may take the memo path (and correctly report a hit).
+        memo_line_ = line;
         return false;
     }
 
@@ -143,6 +171,10 @@ class Cache {
     {
         return set_tags(set) + ways_;
     }
+
+    /// Set every way of every set to kInvalidTag and clear replacement
+    /// state (construction / flush).
+    void reset_tags();
 
     /// Record a use of @p way — single branch on the replacement kind.
     void
@@ -213,22 +245,21 @@ class Cache {
     void
     install(std::uint64_t set, std::uint64_t tag)
     {
-        // Prefer an invalid way; otherwise evict the policy's victim.
+        // Prefer an empty way; otherwise evict the policy's victim.
         // Sets fill once and stay full, so track occupancy to skip the
-        // invalid-way scan in steady state.
+        // empty-way scan in steady state.
         unsigned w;
         if (live_[set] < ways_) {
-            const std::size_t vbase =
-                static_cast<std::size_t>(set) * ways_;
+            const std::uint64_t *tags = set_tags(set);
             w = 0;
-            while (valid_[vbase + w] != 0)
+            while (tags[w] != kInvalidTag)
                 ++w;
-            valid_[vbase + w] = 1;
             ++live_[set];
         } else {
             w = victim(set);
         }
         set_tags(set)[w] = tag;
+        hint_[set] = static_cast<std::uint8_t>(w);
         touch(set, w);
     }
 
@@ -244,8 +275,14 @@ class Cache {
     std::uint64_t clock_ = 0;
     Rng *rng_;
     std::vector<std::uint64_t> slab_;
-    std::vector<std::uint8_t> valid_;
-    std::vector<unsigned> live_;  ///< valid ways per set
+    std::vector<unsigned> live_;  ///< occupied ways per set
+    /// Last-hit/installed way per set (pure lookup accelerator; never
+    /// affects replacement decisions or metrics).
+    std::vector<std::uint8_t> hint_;
+    /// Line of the most recent access (resident and MRU by construction);
+    /// ~0 when no such guarantee holds. Cleared by fill/invalidate/flush
+    /// because they can change residency behind the memo's back.
+    std::uint64_t memo_line_ = ~0ULL;
     CacheStats stats_;
 };
 

@@ -23,9 +23,14 @@
 #include "cache/hierarchy.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "mmu/walk_register_file.hpp"
 #include "obs/stat_registry.hpp"
 #include "pt/translation_table.hpp"
 #include "tlb/tlb.hpp"
+
+namespace ptm::pt {
+class PageTable;
+}
 
 namespace ptm::mmu {
 
@@ -71,6 +76,11 @@ struct GuestContext {
     /// Consult/fill the page-walk cache. Only meaningful for tables with
     /// radix_levels(); bound once at job creation from the table.
     bool use_pwc = true;
+    /// Concrete radix table behind page_table, when it is one (bound at
+    /// system setup). Lets the walker fuse the descent with its per-node
+    /// accounting — no step buffer, no virtual dispatch. nullptr keeps
+    /// the generic walk() path (hashed tables, direct test setups).
+    const pt::PageTable *radix = nullptr;
 };
 
 /// The host side: the VM's host translation table (guest-physical ->
@@ -79,6 +89,9 @@ struct HostContext {
     pt::TranslationTable *page_table = nullptr;
     /// Handle a host page fault on the faulting guest frame number.
     FaultHook fault_handler;
+    /// Concrete radix table behind page_table, when it is one; see
+    /// GuestContext::radix.
+    const pt::PageTable *radix = nullptr;
 };
 
 /// Everything a translation request reports back.
@@ -137,6 +150,54 @@ class NestedWalker {
      */
     TranslationResult translate(GuestContext &guest, Addr gva);
 
+    // ---- batched dispatch (sim::System::step_batch) -----------------
+    //
+    // The dispatcher issues a batch of independent translations in
+    // program order: it probes the L1 TLB inline via lookup_l1() (the
+    // ~75% fast path — no call, no TranslationResult), falls into
+    // translate_l1_missed() on a miss, and closes the batch with
+    // end_batch(), which flushes the deferred per-op counters and
+    // retires the walk register file (latency histograms, occupancy,
+    // overlap credit). Counter sums and orders are identical to calling
+    // translate() per op; see walk_register_file.hpp for why issue stays
+    // in program order.
+
+    /// Open a dispatch batch (resets the walk register file).
+    void begin_batch() { wrf_.begin_batch(); }
+
+    /// Inline L1-TLB probe. On a hit the caller counts it locally and
+    /// passes the total to end_batch(); a hit costs 0 cycles, like the
+    /// L1 leg of translate().
+    std::optional<std::uint64_t>
+    lookup_l1(std::uint64_t gvpn)
+    {
+        return tlb_.lookup_l1(gvpn);
+    }
+
+    /**
+     * Slow path of a batched translation whose L1 probe missed: L2 TLB,
+     * else the full 2D walk, which is issued into the walk register file
+     * (its latency histogram entry is recorded at end_batch() retire,
+     * not here). Does not touch the translations/tlb_l1_hits counters —
+     * those are flushed by end_batch().
+     */
+    TranslationResult translate_l1_missed(GuestContext &guest, Addr gva);
+
+    /**
+     * Close the batch: flush @p ops deferred translations and @p l1_hits
+     * deferred L1 hits, retire the register file in program order.
+     * @return the overlap credit (cycles the batch's walks save when
+     *         charged as critical path instead of serially); the caller
+     *         applies it only in overlapped-timing mode.
+     */
+    Cycles
+    end_batch(std::uint64_t ops, std::uint64_t l1_hits)
+    {
+        stats_.translations.inc(ops);
+        stats_.tlb_l1_hits.inc(l1_hits);
+        return wrf_.retire(stats_.walk_cycles_hist, ops);
+    }
+
     /**
      * Translate a guest frame number to a host frame number the way the
      * walker would (nested TLB, else a host 1D walk with lazy backing),
@@ -155,7 +216,12 @@ class NestedWalker {
 
     unsigned core() const { return core_; }
     const WalkerStats &stats() const { return stats_; }
-    void reset_stats() { stats_ = WalkerStats{}; }
+    void
+    reset_stats()
+    {
+        stats_ = WalkerStats{};
+        wrf_.reset_stats();
+    }
 
     /// Register walker counters + latency histograms under
     /// "<prefix>.walker.*" (Measurement scope: cleared between the init
@@ -167,6 +233,7 @@ class NestedWalker {
     tlb::TlbHierarchy &tlb() { return tlb_; }
     tlb::PageWalkCache &pwc() { return pwc_; }
     tlb::NestedTlb &nested_tlb() { return nested_tlb_; }
+    const WalkRegisterFile &walk_register_file() const { return wrf_; }
 
   private:
     /// One attempt at walking the guest PT; returns the leaf data gfn or
@@ -175,12 +242,27 @@ class NestedWalker {
                                                  std::uint64_t gvpn,
                                                  TranslationResult &result);
 
+    /// Fused radix fast paths: identical access/stat/fault sequences to
+    /// the generic versions, but descending node-by-node via
+    /// pt::PageTable::Cursor instead of materializing a step buffer.
+    std::optional<std::uint64_t> walk_guest_radix(GuestContext &guest,
+                                                  std::uint64_t gvpn,
+                                                  TranslationResult &result);
+    std::uint64_t host_walk_radix(std::uint64_t gfn,
+                                  TranslationResult &result);
+
+    /// The full TLB-missing 2D walk (fault-and-retry loop + final host
+    /// walk + TLB insert), shared by translate() and the batched path.
+    void walk_to_completion(GuestContext &guest, std::uint64_t gvpn,
+                            TranslationResult &result);
+
     unsigned core_;
     cache::MemoryHierarchy *hierarchy_;
     HostContext host_;
     tlb::TlbHierarchy tlb_;
     tlb::PageWalkCache pwc_;
     tlb::NestedTlb nested_tlb_;
+    WalkRegisterFile wrf_;
     WalkerStats stats_;
     // Reusable walk buffers: translate() is called once per simulated op,
     // so the step arrays live here instead of being re-created per walk

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Walk register file: the fixed pool of in-flight page-walk state one
+ * core keeps while a dispatch batch is open (ChampSim's PW_REG_SIZE
+ * register file is the structural exemplar).
+ *
+ * The simulator's cache model is functional — every access permutes LRU
+ * state — so the only issue schedule that preserves end-of-run counter
+ * sums is program order. Walks are therefore *issued* in program order
+ * and the register file captures their state for the two things that can
+ * be deferred to retire without changing any counter:
+ *
+ *  - per-walk latency histograms are recorded at retire, slot order ==
+ *    program order, so batched runs stay bit-identical to serial;
+ *  - the opt-in overlapped-timing mode (PlatformConfig::
+ *    overlapped_walk_timing) re-charges the batch's hardware walk cycles
+ *    as the critical path (max over slots) instead of the serial sum,
+ *    modelling walk-level MLP. Faults are kernel software and stay
+ *    serialized. Only cycle attribution changes; counters never do.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "obs/stat_registry.hpp"
+
+namespace ptm::mmu {
+
+/// Register-file occupancy + overlap accounting (per core).
+struct WalkRegisterFileStats {
+    Counter batches;              ///< dispatch batches retired
+    Counter batched_ops;          ///< ops dispatched through batches
+    Counter overlap_cycles_saved; ///< sum(walk) - max(walk), overlap mode
+    /// Walks in flight per retired batch (the MLP actually available).
+    Histogram occupancy{BucketPolicy::Linear, 17};
+};
+
+/**
+ * The register file itself: a bounded array of walk slots filled between
+ * begin_batch() and retire(). Allocation never fails — the dispatcher
+ * caps batches at capacity().
+ */
+class WalkRegisterFile {
+  public:
+    /// Upper bound on PlatformConfig::walk_batch.
+    static constexpr unsigned kCapacity = 16;
+
+    /// One in-flight (issued, not yet retired) walk.
+    struct Slot {
+        Cycles walk_cycles = 0;   ///< hardware walk portion
+        Cycles fault_cycles = 0;  ///< kernel fault portion (serialized)
+    };
+
+    void
+    begin_batch()
+    {
+        count_ = 0;
+    }
+
+    /// Record one issued walk; returns its slot for the walker to fill.
+    Slot &
+    allocate()
+    {
+        return slots_[count_++];
+    }
+
+    unsigned in_flight() const { return count_; }
+
+    /**
+     * Retire the open batch of @p ops dispatched ops in program order:
+     * record each walk's latency histogram entry and the occupancy
+     * histogram, and compute the overlap credit (sum - max of the slots'
+     * hardware walk cycles).
+     * @return cycles saved vs serial issue — 0 unless >= 2 walks are in
+     *         flight; the caller subtracts it from the batch charge only
+     *         in overlapped-timing mode.
+     */
+    Cycles
+    retire(Histogram &walk_cycles_hist, std::uint64_t ops)
+    {
+        stats_.batches.inc();
+        stats_.batched_ops.inc(ops);
+        stats_.occupancy.record(count_);
+        if (count_ == 0)
+            return 0;
+        Cycles sum = 0;
+        Cycles max = 0;
+        for (unsigned i = 0; i < count_; ++i) {
+            const Slot &slot = slots_[i];
+            walk_cycles_hist.record(slot.walk_cycles);
+            sum += slot.walk_cycles;
+            if (slot.walk_cycles > max)
+                max = slot.walk_cycles;
+        }
+        count_ = 0;
+        Cycles saved = sum - max;
+        stats_.overlap_cycles_saved.inc(saved);
+        return saved;
+    }
+
+    const WalkRegisterFileStats &stats() const { return stats_; }
+
+    /// Register under "<prefix>.wrf.*" (Measurement scope, like the
+    /// walker counters they accompany).
+    void
+    register_stats(obs::StatRegistry &registry, const std::string &prefix)
+    {
+        const std::string w = prefix + ".wrf";
+        const obs::ResetScope scope = obs::ResetScope::Measurement;
+        registry.counter(w + ".batches", &stats_.batches, scope);
+        registry.counter(w + ".batched_ops", &stats_.batched_ops, scope);
+        registry.counter(w + ".overlap_cycles_saved",
+                         &stats_.overlap_cycles_saved, scope);
+        registry.histogram(w + ".occupancy", &stats_.occupancy, scope);
+    }
+
+    void reset_stats() { stats_ = WalkRegisterFileStats{}; }
+
+  private:
+    Slot slots_[kCapacity];
+    unsigned count_ = 0;
+    WalkRegisterFileStats stats_;
+};
+
+}  // namespace ptm::mmu

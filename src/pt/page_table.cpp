@@ -87,16 +87,15 @@ PageTable::map(std::uint64_t vpn, const PteFields &fields)
 void
 PageTable::unmap(std::uint64_t vpn)
 {
-    const Node *node = descend(vpn, kPtLevels - 1);
-    if (node == nullptr)
-        return;
-    unsigned leaf_index = index_at(vpn, kPtLevels - 1);
-    // const_cast-free path: redo the descent mutably.
-    Node *mut = root_.get();
-    for (unsigned level = 0; level + 1 < kPtLevels; ++level)
-        mut = mut->slots[index_at(vpn, level)].child.get();
-    if (mut->slots[leaf_index].pte.present()) {
-        mut->slots[leaf_index].pte = Pte{};
+    Node *node = root_.get();
+    for (unsigned level = 0; level + 1 < kPtLevels; ++level) {
+        node = node->slots[index_at(vpn, level)].child.get();
+        if (node == nullptr)
+            return;
+    }
+    Slot &leaf = node->slots[index_at(vpn, kPtLevels - 1)];
+    if (leaf.pte.present()) {
+        leaf.pte = Pte{};
         stats_.unmappings.inc();
     }
 }

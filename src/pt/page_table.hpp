@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "pt/pte.hpp"
@@ -136,6 +137,54 @@ class PageTable final : public TranslationTable {
     std::unique_ptr<Node> root_;
     std::uint64_t node_count_ = 0;
     PageTableStats stats_;
+
+  public:
+    /**
+     * Inline descent cursor: the exact touch sequence of walk(), one
+     * level at a time, without materializing a step buffer. The nested
+     * walker uses it to fuse the radix descent with its per-node cache
+     * accounting — one pass, no virtual dispatch. Read-only; the cursor
+     * must not outlive kernel updates to the table.
+     */
+    class Cursor {
+      public:
+        Cursor(const PageTable &table, std::uint64_t vpn)
+            : node_(table.root_.get()), vpn_(vpn)
+        {
+        }
+
+        unsigned level() const { return level_; }
+        std::uint64_t node_frame() const { return node_->frame; }
+        unsigned index() const { return index_at(vpn_, level_); }
+        Addr
+        entry_paddr() const
+        {
+            return node_->frame * kPageSize + index() * kPteSize;
+        }
+        Pte pte() const { return node_->slots[index()].pte; }
+        bool at_leaf() const { return level_ + 1 >= kPtLevels; }
+
+        /**
+         * Move to the current entry's child node. Only meaningful below
+         * the leaf level with a present entry; panics on structural
+         * corruption (present non-leaf entry without a child), exactly
+         * like walk().
+         */
+        void
+        descend()
+        {
+            const Node *child = node_->slots[index()].child.get();
+            if (child == nullptr)
+                ptm_panic("present non-leaf entry without child node");
+            node_ = child;
+            ++level_;
+        }
+
+      private:
+        const Node *node_;
+        std::uint64_t vpn_;
+        unsigned level_ = 0;
+    };
 };
 
 }  // namespace ptm::pt

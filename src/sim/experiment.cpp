@@ -6,11 +6,13 @@
 #include <memory>
 #include <optional>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "core/ptemagnet_provider.hpp"
 #include "pt/table_factory.hpp"
 #include "vm/provider_factory.hpp"
 #include "workload/catalog.hpp"
+#include "workload/trace.hpp"
 
 namespace ptm::sim {
 
@@ -64,6 +66,19 @@ run_scenario(const ScenarioConfig &config)
     unsigned cores = 1;
     for (const CorunnerSpec &spec : config.corunners)
         cores += spec.workers;
+
+    // Replay streams come from here; declared first so the TraceFile
+    // outlives the jobs decoding from it (and the System owning them).
+    std::optional<workload::TraceFile> trace;
+    if (!config.trace_replay.empty()) {
+        trace.emplace(workload::TraceFile::load(config.trace_replay));
+        if (trace->job_count() != cores) {
+            ptm_throw("trace %s has %u job streams, scenario needs %u "
+                      "(victim + co-runner workers)",
+                      config.trace_replay.c_str(), trace->job_count(),
+                      cores);
+        }
+    }
     PlatformConfig platform = config.platform;
     platform.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
 
@@ -86,15 +101,39 @@ run_scenario(const ScenarioConfig &config)
     options.scale = config.scale;
     options.seed = config.seed;
 
-    Job &victim =
-        system.add_job(workload::make_workload(config.victim, options));
+    // Per-job workload source, by mode:
+    //  - replay: decode the trace stream for this job index;
+    //  - record: the real generator wrapped in a recorder (raw pointers
+    //    collected so the trace can be written after the run);
+    //  - otherwise: the StreamCache memo of the generator's stream (the
+    //    second leg of a paired run and repeated suite legs decode
+    //    instead of regenerating), or the bare generator when disabled.
+    std::vector<const workload::RecordingWorkload *> recorders;
+    auto job_workload = [&](const std::string &name,
+                            const workload::WorkloadOptions &opt,
+                            unsigned job_index)
+        -> std::unique_ptr<workload::Workload> {
+        if (trace)
+            return trace->make_replayer(job_index);
+        if (!config.trace_record.empty()) {
+            auto rec = std::make_unique<workload::RecordingWorkload>(
+                workload::make_workload(name, opt));
+            recorders.push_back(rec.get());
+            return rec;
+        }
+        if (workload::StreamCache::enabled())
+            return workload::StreamCache::instance().replay(name, opt);
+        return workload::make_workload(name, opt);
+    };
+
+    Job &victim = system.add_job(job_workload(config.victim, options, 0));
     unsigned worker_index = 0;
     for (const CorunnerSpec &spec : config.corunners) {
         for (unsigned w = 0; w < spec.workers; ++w) {
             workload::WorkloadOptions co_options = options;
             co_options.seed = config.seed + 1000 + (++worker_index);
             system.add_job(
-                workload::make_workload(spec.name, co_options));
+                job_workload(spec.name, co_options, worker_index));
         }
     }
 
@@ -209,7 +248,11 @@ run_scenario(const ScenarioConfig &config)
                            static_cast<double>(result.fallback_singles));
     }
 
+    if (!config.trace_record.empty())
+        workload::TraceFile::write(config.trace_record, recorders);
+
     result.total_ops = system.total_steps();
+    result.stage_times = system.stage_times();
     result.host_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)

@@ -99,6 +99,15 @@ struct ScenarioConfig {
     bool measure_init = false;
     /// Deterministic fault/pressure schedule; inert unless armed().
     FaultPlan fault_plan;
+    /// When set, every job's op stream (ops + context interactions) is
+    /// recorded and written to this .ptt file when the run ends.
+    std::string trace_record;
+    /// When set, jobs replay the named .ptt file's streams instead of
+    /// running their generators. The trace must have exactly one stream
+    /// per configured job (victim first, then co-runner workers in
+    /// order). Because scheduling is done in op space, one recorded
+    /// trace drives every {policy × table} leg identically.
+    std::string trace_replay;
     PlatformConfig platform;
 
     // ---- fluent setters --------------------------------------------
@@ -210,6 +219,20 @@ struct ScenarioConfig {
         fault_plan = std::move(plan);
         return *this;
     }
+    /// Record all job op streams to @p path (.ptt) at run end.
+    ScenarioConfig &
+    with_trace_record(std::string path)
+    {
+        trace_record = std::move(path);
+        return *this;
+    }
+    /// Replay job op streams from @p path (.ptt) instead of generators.
+    ScenarioConfig &
+    with_trace_replay(std::string path)
+    {
+        trace_replay = std::move(path);
+        return *this;
+    }
 
     // ---- resolution -------------------------------------------------
     /// Factory name this run will use: policy_name when set, else the
@@ -274,6 +297,9 @@ struct ScenarioResult {
     // state: excluded from the determinism comparisons) ---------------
     /// Host wall-clock seconds run_scenario took, warmup/init included.
     double host_seconds = 0.0;
+    /// Dispatch-loop stage breakdown (all zeros unless the run's
+    /// platform.stage_timing was set — bench-only instrumentation).
+    StageTimes stage_times;
     /// Simulated operations executed across all jobs, all phases.
     std::uint64_t total_ops = 0;
     /// Simulator throughput of this leg, in simulated ops per host second.

@@ -5,10 +5,13 @@
  * The TLBs, page-walk caches, and the nested TLB are all instances of this
  * template; they differ only in what the 64-bit key and the value mean.
  *
- * Storage is structure-of-arrays — flat keys/stamps/valid/value arrays
- * indexed by set*ways+way — so the hot lookup scans one contiguous run of
- * keys instead of striding over full entry structs, and insert resolves
+ * Storage is structure-of-arrays — flat keys/stamps/value arrays indexed
+ * by set*ways+way — so the hot lookup scans one contiguous run of keys
+ * instead of striding over full entry structs, and insert resolves
  * existing-key / free-way / LRU-victim in a single pass over the set.
+ * Empty ways hold kInvalidKey, so the scan is a bare key compare with no
+ * separate valid-bit load; keys must therefore never be all-ones (page
+ * and frame numbers are far below 2^64).
  */
 #pragma once
 
@@ -48,6 +51,9 @@ struct AssocStats {
 template <typename Value>
 class AssocCache {
   public:
+    /// Key stored in empty ways; real keys must never equal it.
+    static constexpr std::uint64_t kInvalidKey = ~0ULL;
+
     /**
      * @param entries total entry count (must be ways * power-of-two sets)
      * @param ways    associativity
@@ -62,9 +68,8 @@ class AssocCache {
             ptm_fatal("assoc-cache set count %u not a power of two",
                       num_sets_);
         const std::size_t n = static_cast<std::size_t>(num_sets_) * ways_;
-        keys_.assign(n, 0);
+        keys_.assign(n, kInvalidKey);
         stamps_.assign(n, 0);
-        valid_.assign(n, 0);
         values_.resize(n);
     }
 
@@ -72,12 +77,24 @@ class AssocCache {
     std::optional<Value>
     lookup(std::uint64_t key)
     {
+        // Same-key repeat: the previous recency-changing operation (hit
+        // or insert) was for this very key, so it is resident and MRU —
+        // a guaranteed hit whose stamp bump would be an order-preserving
+        // no-op. Misses change no recency state, so the memo survives
+        // them. Consecutive ops dwell on one page for long runs, making
+        // this the common L1-TLB path.
+        if (key == memo_key_) {
+            stats_.hits.inc();
+            return memo_value_;
+        }
         const std::size_t base = base_of(key);
         for (unsigned w = 0; w < ways_; ++w) {
-            if (valid_[base + w] != 0 && keys_[base + w] == key) {
+            if (keys_[base + w] == key) {
                 stamps_[base + w] = ++clock_;
                 stats_.hits.inc();
-                return values_[base + w];
+                memo_key_ = key;
+                memo_value_ = values_[base + w];
+                return memo_value_;
             }
         }
         stats_.misses.inc();
@@ -90,7 +107,7 @@ class AssocCache {
     {
         const std::size_t base = base_of(key);
         for (unsigned w = 0; w < ways_; ++w) {
-            if (valid_[base + w] != 0 && keys_[base + w] == key)
+            if (keys_[base + w] == key)
                 return values_[base + w];
         }
         return std::nullopt;
@@ -102,13 +119,13 @@ class AssocCache {
     {
         const std::size_t base = base_of(key);
         // One pass resolves all three candidates: an existing entry for
-        // the key, the first invalid way, and the LRU way (smallest
+        // the key, the first empty way, and the LRU way (smallest
         // stamp, lowest way on ties).
         unsigned slot = ways_;
         unsigned first_invalid = ways_;
         unsigned lru = 0;
         for (unsigned w = 0; w < ways_; ++w) {
-            if (valid_[base + w] != 0) {
+            if (keys_[base + w] != kInvalidKey) {
                 if (keys_[base + w] == key) {
                     slot = w;
                     break;
@@ -127,20 +144,25 @@ class AssocCache {
                 stats_.evictions.inc();
             }
         }
-        valid_[base + slot] = 1;
         keys_[base + slot] = key;
         values_[base + slot] = value;
         stamps_[base + slot] = ++clock_;
+        // The inserted key is now resident and MRU; it also supersedes
+        // any previously memoized key (which may just have been evicted).
+        memo_key_ = key;
+        memo_value_ = value;
     }
 
     /// Remove one key if present.
     void
     invalidate(std::uint64_t key)
     {
+        if (key == memo_key_)
+            memo_key_ = kInvalidKey;
         const std::size_t base = base_of(key);
         for (unsigned w = 0; w < ways_; ++w) {
-            if (valid_[base + w] != 0 && keys_[base + w] == key)
-                valid_[base + w] = 0;
+            if (keys_[base + w] == key)
+                keys_[base + w] = kInvalidKey;
         }
     }
 
@@ -148,8 +170,8 @@ class AssocCache {
     void
     invalidate_all()
     {
-        std::fill(valid_.begin(), valid_.end(),
-                  static_cast<std::uint8_t>(0));
+        memo_key_ = kInvalidKey;
+        std::fill(keys_.begin(), keys_.end(), kInvalidKey);
     }
 
     unsigned capacity() const { return num_sets_ * ways_; }
@@ -171,8 +193,8 @@ class AssocCache {
     occupancy() const
     {
         unsigned n = 0;
-        for (std::uint8_t v : valid_)
-            n += v;
+        for (std::uint64_t k : keys_)
+            n += static_cast<unsigned>(k != kInvalidKey);
         return n;
     }
 
@@ -187,8 +209,11 @@ class AssocCache {
     std::uint64_t clock_ = 0;
     std::vector<std::uint64_t> keys_;
     std::vector<std::uint64_t> stamps_;
-    std::vector<std::uint8_t> valid_;
     std::vector<Value> values_;
+    /// Key of the most recent hit/insert (resident and MRU by
+    /// construction); kInvalidKey when no such guarantee holds.
+    std::uint64_t memo_key_ = kInvalidKey;
+    Value memo_value_{};
     AssocStats stats_;
 };
 

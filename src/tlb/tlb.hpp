@@ -53,13 +53,32 @@ class TlbHierarchy {
     Result
     lookup(std::uint64_t gvpn)
     {
-        if (std::optional<std::uint64_t> hfn = l1_.lookup(gvpn))
+        if (std::optional<std::uint64_t> hfn = lookup_l1(gvpn))
             return {TlbLevel::L1, *hfn};
+        if (std::optional<std::uint64_t> hfn = lookup_l2_fill_l1(gvpn))
+            return {TlbLevel::L2, *hfn};
+        return {TlbLevel::Miss, 0};
+    }
+
+    /// L1-only probe: the first leg of lookup(), split out so the batched
+    /// dispatcher can inline the hit fast path (counters behave exactly
+    /// as in lookup()).
+    std::optional<std::uint64_t>
+    lookup_l1(std::uint64_t gvpn)
+    {
+        return l1_.lookup(gvpn);
+    }
+
+    /// Continue a lookup whose L1 probe missed: probe L2 and fill L1 on a
+    /// hit, exactly like the second leg of lookup().
+    std::optional<std::uint64_t>
+    lookup_l2_fill_l1(std::uint64_t gvpn)
+    {
         if (std::optional<std::uint64_t> hfn = l2_.lookup(gvpn)) {
             l1_.insert(gvpn, *hfn);
-            return {TlbLevel::L2, *hfn};
+            return hfn;
         }
-        return {TlbLevel::Miss, 0};
+        return std::nullopt;
     }
 
     /// Install a completed translation into both levels.

@@ -58,6 +58,7 @@ VirtualAddressSpace::munmap(Addr base)
     if (it == regions_.end())
         return std::nullopt;
     Vma vma = it->second;
+    last_find_ = nullptr;
     regions_.erase(it);
     return vma;
 }
@@ -65,11 +66,16 @@ VirtualAddressSpace::munmap(Addr base)
 const Vma *
 VirtualAddressSpace::find(std::uint64_t vpn) const
 {
+    if (last_find_ != nullptr && last_find_->contains(vpn))
+        return last_find_;
     auto it = regions_.upper_bound(vpn);
     if (it == regions_.begin())
         return nullptr;
     --it;
-    return it->second.contains(vpn) ? &it->second : nullptr;
+    if (!it->second.contains(vpn))
+        return nullptr;
+    last_find_ = &it->second;
+    return last_find_;
 }
 
 std::vector<Vma>

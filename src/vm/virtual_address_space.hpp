@@ -68,6 +68,11 @@ class VirtualAddressSpace {
     std::uint64_t mmap_cursor_page_;
     std::uint64_t heap_begin_page_;
     std::uint64_t heap_end_page_;
+    /// Last VMA find() returned: faults cluster within one region, so
+    /// most lookups rehit it and skip the tree descent. Map nodes are
+    /// pointer-stable under insert and in-place growth (brk); munmap
+    /// clears the cache because erase is the one invalidating operation.
+    mutable const Vma *last_find_ = nullptr;
 };
 
 }  // namespace ptm::vm

@@ -60,6 +60,35 @@ class Workload {
     virtual void setup(WorkloadContext &ctx) = 0;
     virtual std::optional<MemOp> next(WorkloadContext &ctx) = 0;
 
+    /**
+     * Batched generation for the overlapped dispatcher: fill @p out with
+     * up to @p max ops and return the number produced; 0 means the
+     * workload completed (exactly when next() would return nullopt).
+     *
+     * Batch-transparency contract: the concatenation of ops and context
+     * interactions across repeated next_batch() calls must equal the
+     * serial next() sequence, and context interactions may only happen
+     * while generating the FIRST op of a batch — the caller executes the
+     * whole batch after the fill, so an interaction generated mid-batch
+     * would be reordered before ops that serially precede it.
+     * Implementations therefore stop early (return k < max) when the
+     * next op would need the context.
+     *
+     * The default is the conservative one-op batch, correct for any
+     * generator; workloads opt into real batching by overriding.
+     */
+    virtual unsigned
+    next_batch(WorkloadContext &ctx, MemOp *out, unsigned max)
+    {
+        if (max == 0)
+            return 0;
+        std::optional<MemOp> op = next(ctx);
+        if (!op)
+            return 0;
+        out[0] = *op;
+        return 1;
+    }
+
     /// True while the workload is still faulting in its data structures
     /// (the paper's "allocation of physical memory" phase, §3.3).
     virtual bool in_init_phase() const = 0;

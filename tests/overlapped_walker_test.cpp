@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Batched-dispatch identity tests: the walk-register-file batch depth is
+ * a pure simulator-performance knob. Running the same scenario at depths
+ * {1, 2, 8} must produce bit-identical simulated results — every metric,
+ * every registered counter and histogram — because batches never cross
+ * slice boundaries and nothing observes state between the ops of one
+ * slice. Only the ".wrf." occupancy stats may differ: they describe the
+ * batching machinery itself.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace ptm::sim {
+namespace {
+
+constexpr unsigned kDepths[] = {1, 2, 8};
+
+ScenarioConfig
+small_config(const std::string &victim, std::uint64_t seed)
+{
+    ScenarioConfig config = ScenarioConfig{}
+                                .with_victim(victim)
+                                .with_corunner("stress-ng", 2)
+                                .with_scale(0.05)
+                                .with_measure_ops(8'000)
+                                .with_warmup_ops(3'000)
+                                .with_seed(seed);
+    config.platform.guest_frames = 16 * 1024;
+    config.platform.host_frames = 24 * 1024;
+    // Large enough that depth 8 actually forms 8-op batches (the
+    // effective depth is min(walk_batch, remaining slice); the default
+    // slice of 2 would cap every depth at 2).
+    config.platform.slice_ops = 16;
+    return config;
+}
+
+ScenarioResult
+run_at_depth(ScenarioConfig config, unsigned depth)
+{
+    config.platform.walk_batch = depth;
+    return run_scenario(config);
+}
+
+/// Assert two results are simulated-state identical; stat paths
+/// containing ".wrf." are the one allowed difference.
+void
+expect_identical(const ScenarioResult &a, const ScenarioResult &b,
+                 unsigned depth)
+{
+    EXPECT_EQ(a.victim_cycles, b.victim_cycles) << "depth " << depth;
+    EXPECT_EQ(a.victim_ops, b.victim_ops) << "depth " << depth;
+    EXPECT_EQ(a.victim_rss_pages, b.victim_rss_pages) << "depth " << depth;
+    EXPECT_EQ(a.total_ops, b.total_ops) << "depth " << depth;
+
+    const auto &am = a.metrics.values();
+    const auto &bm = b.metrics.values();
+    ASSERT_EQ(am.size(), bm.size());
+    for (const auto &[name, value] : am) {
+        auto it = bm.find(name);
+        ASSERT_NE(it, bm.end()) << name;
+        EXPECT_EQ(value, it->second)
+            << "metric '" << name << "' diverged at depth " << depth;
+    }
+
+    ASSERT_EQ(a.stats.size(), b.stats.size());
+    for (std::size_t i = 0; i < a.stats.entries().size(); ++i) {
+        const auto &ea = a.stats.entries()[i];
+        const auto &eb = b.stats.entries()[i];
+        ASSERT_EQ(ea.path, eb.path);
+        if (ea.path.find(".wrf.") != std::string::npos)
+            continue;  // occupancy of the batching machinery itself
+        if (ea.is_histogram) {
+            EXPECT_EQ(ea.histogram.count, eb.histogram.count) << ea.path;
+            EXPECT_EQ(ea.histogram.sum, eb.histogram.sum) << ea.path;
+            EXPECT_EQ(ea.histogram.min, eb.histogram.min) << ea.path;
+            EXPECT_EQ(ea.histogram.max, eb.histogram.max) << ea.path;
+            EXPECT_EQ(ea.histogram.p50, eb.histogram.p50) << ea.path;
+            EXPECT_EQ(ea.histogram.p99, eb.histogram.p99) << ea.path;
+        } else {
+            EXPECT_EQ(ea.value, eb.value)
+                << "stat '" << ea.path << "' diverged at depth " << depth;
+        }
+    }
+}
+
+TEST(OverlappedWalker, BatchDepthIsMetricInvisible)
+{
+    ScenarioConfig config = small_config("pagerank", 7);
+    ScenarioResult serial = run_at_depth(config, 1);
+    for (unsigned depth : kDepths) {
+        if (depth == 1)
+            continue;
+        expect_identical(serial, run_at_depth(config, depth), depth);
+    }
+}
+
+TEST(OverlappedWalker, RandomizedWorkloadsAndSeedsMatchSerial)
+{
+    const struct {
+        const char *victim;
+        std::uint64_t seed;
+    } cases[] = {{"cc", 3}, {"mcf", 11}, {"alloc_sweep", 23}};
+    for (const auto &c : cases) {
+        ScenarioConfig config = small_config(c.victim, c.seed);
+        config.with_measure_ops(5'000);
+        ScenarioResult serial = run_at_depth(config, 1);
+        expect_identical(serial, run_at_depth(config, 8), 8);
+    }
+}
+
+TEST(OverlappedWalker, IdentityHoldsUnderPtemagnet)
+{
+    ScenarioConfig config = small_config("pagerank", 7).with_ptemagnet();
+    ScenarioResult serial = run_at_depth(config, 1);
+    expect_identical(serial, run_at_depth(config, 8), 8);
+}
+
+TEST(OverlappedWalker, IdentityHoldsWithFaultPlanArmed)
+{
+    // Injected denials and pressure episodes fire at allocation events
+    // (fault-time state), which batching must not displace. Order-3
+    // denials exercise the single-frame fallback path without making
+    // any fault unserviceable.
+    ScenarioConfig config = small_config("pagerank", 7).with_fault_plan(
+        FaultPlan{}.deny_guest(3, /*count=*/1'000)
+                   .periodic_pressure(2'000));
+    ScenarioResult serial = run_at_depth(config, 1);
+    for (unsigned depth : kDepths) {
+        if (depth == 1)
+            continue;
+        ScenarioResult batched = run_at_depth(config, depth);
+        expect_identical(serial, batched, depth);
+        EXPECT_GT(batched.injected_denials + batched.pressure_episodes,
+                  0u)
+            << "plan never fired; the test exercises nothing";
+    }
+}
+
+TEST(OverlappedWalker, OverlappedTimingReducesCyclesOnly)
+{
+    // The opt-in MLP timing model may change cycle totals (that is its
+    // point) but must keep every event counter identical.
+    ScenarioConfig config = small_config("pagerank", 7);
+    config.platform.walk_batch = 8;
+    ScenarioResult serial_time = run_scenario(config);
+    config.platform.overlapped_walk_timing = true;
+    ScenarioResult mlp_time = run_scenario(config);
+
+    EXPECT_LE(mlp_time.victim_cycles, serial_time.victim_cycles);
+    EXPECT_EQ(mlp_time.victim_ops, serial_time.victim_ops);
+    EXPECT_EQ(mlp_time.total_ops, serial_time.total_ops);
+    const auto &am = serial_time.metrics.values();
+    const auto &bm = mlp_time.metrics.values();
+    for (const char *counter : {"tlb_misses", "cache_misses",
+                                "guest_pt_mem_accesses",
+                                "host_pt_mem_accesses"}) {
+        auto ia = am.find(counter);
+        auto ib = bm.find(counter);
+        ASSERT_TRUE(ia != am.end() && ib != bm.end()) << counter;
+        EXPECT_EQ(ia->second, ib->second) << counter;
+    }
+}
+
+}  // namespace
+}  // namespace ptm::sim
