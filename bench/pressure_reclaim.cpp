@@ -33,6 +33,14 @@ main()
     suite.sweep("pagerank", "pressure_every",
                 {0, 50'000, 20'000, 5'000, 1'000}, base);
 
+    // Co-residency axis: the same pressured victim with 1 vs 4 VMs
+    // sharing the host buddy. Extra guests fragment host PT allocation
+    // between sweeps, so this isolates how much of the reclaim cost is
+    // the victim's own versus inter-VM interference.
+    ScenarioConfig colocated = ScenarioConfig(base).with_fault_plan(
+        FaultPlan{}.periodic_pressure(5'000));
+    suite.sweep("pagerank_pressured", "vms", {1, 4}, colocated);
+
     SuiteResult result = suite.run();
 
     std::printf("Memory-pressure reclaim sweep (pagerank + objdet8)\n");

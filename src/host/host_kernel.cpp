@@ -66,15 +66,89 @@ HostKernel::set_translation_table(const std::string &name,
     table_params_ = std::move(params);
 }
 
+std::uint64_t
+HostKernel::table_boot_frames() const
+{
+    if (table_name_ == "hashed") {
+        return static_cast<std::uint64_t>(
+            table_params_.get("initial_frames", 4.0));
+    }
+    return 1;  // radix-style tables allocate only the root node at boot
+}
+
 VmInstance &
 HostKernel::create_vm()
 {
+    // Admission control: fail before anything is allocated, so a caller
+    // that survives the error sees an unchanged host. (Even past this
+    // check the table constructor can lose a frame to an armed alloc
+    // gate; that path also raises a recoverable SimError now.)
+    const std::uint64_t needed = table_boot_frames();
+    const std::uint64_t free = buddy_.free_frames_count();
+    if (free < needed) {
+        ptm_throw("cannot boot vm %d: host has %llu free frames, booting "
+                  "a '%s' translation table needs %llu",
+                  next_vm_id_, static_cast<unsigned long long>(free),
+                  table_name_.c_str(),
+                  static_cast<unsigned long long>(needed));
+    }
+
     std::int32_t id = next_vm_id_++;
     auto vm = std::make_unique<VmInstance>(
         id, pt::make_table(table_name_, pt_frame_source(id), table_params_));
     VmInstance &ref = *vm;
     vms_.emplace(id, std::move(vm));
     return ref;
+}
+
+bool
+HostKernel::unback(VmInstance &vm, std::uint64_t gfn)
+{
+    std::optional<pt::Pte> pte = vm.page_table().lookup(gfn);
+    if (!pte)
+        return false;  // never backed: the balloon release is unproductive
+
+    // Shoot down stale nested-TLB entries before the frame can be
+    // reallocated to another VM.
+    if (on_backing_invalidated)
+        on_backing_invalidated(vm.id(), gfn);
+
+    const std::uint64_t hfn = pte->frame();
+    vm.page_table().unmap(gfn);
+    memory_.set_use(hfn, 1, mem::FrameUse::Free);
+    buddy_.free(hfn);
+    vm.note_unbacked();
+    stats_.pages_unbacked.inc();
+    return true;
+}
+
+std::uint64_t
+HostKernel::destroy_vm(VmInstance &vm)
+{
+    const std::int32_t id = vm.id();
+    const std::uint64_t free_before = buddy_.free_frames_count();
+
+    // Repossess the VM's data frames by ownership scan; no nested-TLB
+    // shootdown is needed because the dead VM's jobs never run again and
+    // other VMs' nested TLBs are keyed by their own guest frames.
+    std::uint64_t data_frames = 0;
+    const std::uint64_t base = memory_.base_frame();
+    const std::uint64_t limit = base + memory_.frame_count();
+    for (std::uint64_t frame = base; frame < limit; ++frame) {
+        const mem::FrameInfo &info = memory_.info(frame);
+        if (info.owner == id && info.use == mem::FrameUse::Data) {
+            memory_.set_use(frame, 1, mem::FrameUse::Free);
+            buddy_.free(frame);
+            ++data_frames;
+        }
+    }
+    stats_.frames_repossessed.inc(data_frames);
+
+    // The translation-table destructor releases the PT node frames
+    // through its frame source.
+    vms_.erase(id);
+    stats_.vms_destroyed.inc();
+    return buddy_.free_frames_count() - free_before;
 }
 
 mmu::FaultOutcome
@@ -116,6 +190,12 @@ HostKernel::register_stats(obs::StatRegistry &registry,
                      &stats_.faults_handled);
     registry.counter(prefix + ".kernel.pages_backed",
                      &stats_.pages_backed);
+    registry.counter(prefix + ".kernel.pages_unbacked",
+                     &stats_.pages_unbacked);
+    registry.counter(prefix + ".kernel.frames_repossessed",
+                     &stats_.frames_repossessed);
+    registry.counter(prefix + ".kernel.vms_destroyed",
+                     &stats_.vms_destroyed);
     buddy_.register_stats(registry, prefix + ".buddy");
 }
 

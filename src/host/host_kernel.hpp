@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -40,6 +41,9 @@ struct HostCostModel {
 struct HostKernelStats {
     Counter faults_handled;
     Counter pages_backed;
+    Counter pages_unbacked;      ///< balloon-released backings dropped
+    Counter frames_repossessed;  ///< data frames reclaimed from dead VMs
+    Counter vms_destroyed;
 };
 
 /// One virtual machine as seen by the host: a host page table mapping
@@ -59,6 +63,12 @@ class VmInstance {
 
     std::uint64_t backed_pages() const { return backed_pages_; }
     void note_backed() { ++backed_pages_; }
+    void
+    note_unbacked()
+    {
+        if (backed_pages_ > 0)
+            --backed_pages_;
+    }
 
   private:
     std::int32_t id_;
@@ -74,8 +84,33 @@ class HostKernel {
     HostKernel(const HostKernel &) = delete;
     HostKernel &operator=(const HostKernel &) = delete;
 
-    /// Boot a VM (its guest-physical space is backed on demand).
+    /**
+     * Boot a VM (its guest-physical space is backed on demand). Admission
+     * is checked up front: booting needs the VM's page-table boot frames
+     * (1 for radix, "initial_frames" for hashed tables).
+     * @throws SimError with free/needed frame counts when the host cannot
+     * back even the boot frames — recoverable, nothing is allocated.
+     */
     VmInstance &create_vm();
+
+    /**
+     * Drop the host backing of @p vm's guest frame @p gfn (balloon path):
+     * unmap the host PTE and free the machine frame. Fires
+     * on_backing_invalidated first so stale nested-TLB entries are
+     * shot down before the frame can be reused.
+     * @return false when @p gfn was never backed (unproductive release).
+     */
+    bool unback(VmInstance &vm, std::uint64_t gfn);
+
+    /**
+     * Kill @p vm: repossess every data frame it owns, then destroy the
+     * instance (its page-table destructor releases the PT node frames).
+     * The reference is dead afterwards.
+     * @return host frames freed (data + page-table nodes).
+     */
+    std::uint64_t destroy_vm(VmInstance &vm);
+
+    std::uint64_t live_vm_count() const { return vms_.size(); }
 
     /**
      * Select the host translation-table structure (pt::make_table name)
@@ -106,8 +141,16 @@ class HostKernel {
     /// The sink must outlive the kernel or be disarmed first.
     void set_trace_sink(obs::TraceSink *sink) { trace_ = sink; }
 
+    /// Sim-layer hook: invoked before a backing (vm_id, gfn) is dropped
+    /// by unback(), so the owning VM's nested TLBs can be invalidated.
+    std::function<void(std::int32_t vm_id, std::uint64_t gfn)>
+        on_backing_invalidated;
+
   private:
     pt::FrameSource pt_frame_source(std::int32_t vm_id);
+
+    /// Frames a new VM's translation table allocates at boot.
+    std::uint64_t table_boot_frames() const;
 
     HostCostModel costs_;
     mem::BuddyAllocator buddy_;

@@ -1,5 +1,6 @@
 #include "pt/hashed_page_table.hpp"
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 
 namespace ptm::pt {
@@ -29,8 +30,17 @@ HashedPageTable::HashedPageTable(FrameSource frames,
     frames_.reserve(initial_frames);
     for (std::uint64_t i = 0; i < initial_frames; ++i) {
         std::optional<std::uint64_t> frame = source_.allocate();
-        if (!frame)
-            ptm_fatal("cannot allocate hashed page-table bucket frames");
+        if (!frame) {
+            // Recoverable admission failure. The destructor will not run
+            // after a throwing constructor, so give back what we took.
+            for (std::uint64_t taken : frames_)
+                source_.release(taken);
+            ptm_throw("cannot allocate hashed page-table bucket frames: "
+                      "%llu of %llu allocated before the frame source "
+                      "ran dry",
+                      static_cast<unsigned long long>(frames_.size()),
+                      static_cast<unsigned long long>(initial_frames));
+        }
         frames_.push_back(*frame);
     }
     stats_.nodes_allocated.inc(initial_frames);

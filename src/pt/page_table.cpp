@@ -1,5 +1,6 @@
 #include "pt/page_table.hpp"
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 
 namespace ptm::pt {
@@ -9,8 +10,13 @@ PageTable::PageTable(FrameSource frames) : frames_(std::move(frames))
     if (!frames_.allocate || !frames_.release)
         ptm_fatal("page table requires a complete frame source");
     root_ = make_node();
-    if (!root_)
-        ptm_fatal("cannot allocate page-table root node");
+    if (!root_) {
+        // Recoverable: booting a table into an exhausted frame pool is an
+        // admission failure (caller's host may be overcommitted), not a
+        // programming error.
+        ptm_throw("cannot allocate page-table root node: frame source "
+                  "exhausted");
+    }
 }
 
 PageTable::~PageTable()

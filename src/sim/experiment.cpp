@@ -63,9 +63,25 @@ run_scenario(const ScenarioConfig &config)
 {
     const auto wall_start = std::chrono::steady_clock::now();
 
+    const bool multi_vm = config.multi_vm();
+    if (multi_vm &&
+        (!config.trace_record.empty() || !config.trace_replay.empty())) {
+        ptm_throw("trace record/replay supports single-VM scenarios only "
+                  "(vms=%u, overcommit %s, churn %s)",
+                  config.vms, config.overcommit.armed() ? "armed" : "off",
+                  config.churn.armed() ? "armed" : "off");
+    }
+
+    // Every job needs a core for its whole life; churn boots/forks each
+    // add at most one, so size the hierarchy for the worst case.
     unsigned cores = 1;
     for (const CorunnerSpec &spec : config.corunners)
         cores += spec.workers;
+    for (unsigned k = 1; k < config.vms; ++k)
+        cores += config.vm_spec_for(k).workers;
+    cores += static_cast<unsigned>(
+        config.churn.count(ChurnAction::Boot) +
+        config.churn.count(ChurnAction::Fork));
 
     // Replay streams come from here; declared first so the TraceFile
     // outlives the jobs decoding from it (and the System owning them).
@@ -87,6 +103,11 @@ run_scenario(const ScenarioConfig &config)
     std::optional<FaultInjector> injector;
 
     System system(platform, cores);
+    // Co-resident VMs boot right after VM 0 so their slot indices (and
+    // registry namespaces "vm1".."vmN-1") are assigned before any job or
+    // churn event exists.
+    for (unsigned k = 1; k < config.vms; ++k)
+        system.boot_vm(config.vm_spec_for(k).guest_frames);
     if (config.fault_plan.armed()) {
         injector.emplace(config.fault_plan);
         system.arm_fault_injection(*injector);
@@ -96,6 +117,19 @@ run_scenario(const ScenarioConfig &config)
     const std::string policy = config.resolved_policy();
     if (policy != "buddy")
         system.set_policy(policy, config.resolved_policy_params());
+    for (unsigned k = 1; k < config.vms; ++k) {
+        const VmSpec spec = config.vm_spec_for(k);
+        const std::string vm_policy =
+            spec.policy.empty() ? policy : spec.policy;
+        if (vm_policy != "buddy") {
+            system.set_policy(k, vm_policy,
+                              spec.policy.empty()
+                                  ? config.resolved_policy_params()
+                                  : spec.policy_params);
+        }
+    }
+    system.set_overcommit(config.overcommit);  // no-op unless armed
+    system.set_churn_plan(config.churn);       // no-op unless armed
 
     workload::WorkloadOptions options;
     options.scale = config.scale;
@@ -136,6 +170,19 @@ run_scenario(const ScenarioConfig &config)
                 job_workload(spec.name, co_options, worker_index));
         }
     }
+    // Co-resident VMs' jobs (never trace-driven: multi-VM runs refuse
+    // record/replay above, so the job index does not matter).
+    for (unsigned k = 1; k < config.vms; ++k) {
+        const VmSpec spec = config.vm_spec_for(k);
+        for (unsigned w = 0; w < spec.workers; ++w) {
+            workload::WorkloadOptions vm_options;
+            vm_options.scale =
+                spec.scale > 0.0 ? spec.scale : config.scale;
+            vm_options.seed = config.seed + 10'000ULL * k + w;
+            system.add_job(k,
+                           job_workload(spec.workload, vm_options, 0));
+        }
+    }
 
     ScenarioResult result;
     auto sample_reservations = [&]() {
@@ -165,6 +212,7 @@ run_scenario(const ScenarioConfig &config)
             return total >= target;
         });
         victim.set_paused(false);
+        system.churn_tick();
     }
 
     // Phase A: the victim allocates its memory under full colocation —
@@ -180,6 +228,7 @@ run_scenario(const ScenarioConfig &config)
                    victim.stats().ops.value() >= before + 4093;
         });
         sample_reservations();
+        system.churn_tick();
     }
 
     if (config.stop_corunners_after_init) {
@@ -193,8 +242,12 @@ run_scenario(const ScenarioConfig &config)
     if (!config.measure_init)
         system.reset_measurement();
     std::uint64_t remaining = config.measure_ops;
+    // Churn events fire between chunks, so an armed plan shortens them to
+    // keep boot/kill/fork timing close to the scheduled step counts.
+    const std::uint64_t chunk_ops =
+        system.churn_armed() ? 4096 : kReservationSampleOps;
     while (remaining > 0 && !victim.finished()) {
-        std::uint64_t chunk = std::min(remaining, kReservationSampleOps);
+        std::uint64_t chunk = std::min(remaining, chunk_ops);
         std::uint64_t before = victim.stats().ops.value();
         system.run_ops(victim, chunk);
         std::uint64_t done = victim.stats().ops.value() - before;
@@ -202,6 +255,7 @@ run_scenario(const ScenarioConfig &config)
             break;  // victim finished mid-chunk
         remaining -= std::min(remaining, done);
         sample_reservations();
+        system.churn_tick();
     }
 
     result.victim_cycles = victim.stats().cycles.value();
@@ -209,8 +263,10 @@ run_scenario(const ScenarioConfig &config)
     result.victim_rss_pages = victim.process().rss_pages();
     result.metrics = collect_metrics(system, victim);
     result.stats = system.stat_registry().snapshot();
-    result.fragmentation =
-        host_pt_fragmentation(victim.process(), system.vm());
+    if (const host::VmInstance *vm0 = system.vm_if_alive(0)) {
+        result.fragmentation =
+            host_pt_fragmentation(victim.process(), *vm0);
+    }
 
     if (core::PtemagnetProvider *provider = system.ptemagnet()) {
         result.reservations_created =
@@ -246,6 +302,62 @@ run_scenario(const ScenarioConfig &config)
                            static_cast<double>(result.frames_reclaimed));
         result.metrics.set("fallback_singles",
                            static_cast<double>(result.fallback_singles));
+    }
+
+    if (multi_vm) {
+        const OvercommitStats &oc = system.overcommit_stats();
+        result.host_reclaim_sweeps = oc.reclaim_sweeps.value();
+        result.host_emergency_sweeps = oc.emergency_sweeps.value();
+        result.host_backoff_waits = oc.backoff_waits.value();
+        result.host_balloon_pages = oc.balloon_pages.value();
+        result.host_frames_unbacked = oc.frames_unbacked.value();
+        result.oom_kills = oc.oom_kills.value();
+        result.churn_boots = oc.churn_boots.value();
+        result.churn_kills = oc.churn_kills.value();
+        result.churn_forks = oc.churn_forks.value();
+        result.churn_boot_failures = oc.churn_boot_failures.value();
+
+        for (unsigned k = 0; k < system.num_vms(); ++k) {
+            const VmSlot &slot = system.vm_slot(k);
+            VmRecord rec;
+            rec.vm = k;
+            rec.status = slot.status;
+            rec.status_detail = slot.status_detail;
+            rec.balloon_pages =
+                slot.guest->stats().balloon_pages_taken.value();
+            rec.frames_repossessed = slot.frames_repossessed;
+            rec.backed_pages = slot.alive ? slot.vm->backed_pages()
+                                          : slot.backed_pages_at_kill;
+            rec.oom_events = slot.guest->stats().oom_events.value();
+            for (const auto &job : system.jobs()) {
+                if (job->vm_index() != k)
+                    continue;
+                rec.ops += job->stats().ops.value();
+                rec.walk_cycles +=
+                    job->walker().stats().walk_cycles.value();
+            }
+            result.vms.push_back(std::move(rec));
+        }
+
+        // Only armed runs grow the metric set (same contract as the
+        // fault-plan block above): the golden snapshot and its new-key
+        // guard keep covering unarmed single-VM runs unchanged.
+        if (config.overcommit.armed() || config.churn.armed()) {
+            result.metrics.set(
+                "oom_kills", static_cast<double>(result.oom_kills));
+            result.metrics.set(
+                "host_reclaim_sweeps",
+                static_cast<double>(result.host_reclaim_sweeps));
+            result.metrics.set(
+                "host_balloon_pages",
+                static_cast<double>(result.host_balloon_pages));
+            result.metrics.set(
+                "host_frames_unbacked",
+                static_cast<double>(result.host_frames_unbacked));
+            result.metrics.set(
+                "churn_boots",
+                static_cast<double>(result.churn_boots));
+        }
     }
 
     if (!config.trace_record.empty())

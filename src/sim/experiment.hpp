@@ -19,6 +19,7 @@
 #include "common/stats.hpp"
 #include "sim/fault_injection.hpp"
 #include "sim/metrics.hpp"
+#include "sim/overcommit.hpp"
 #include "sim/platform.hpp"
 #include "sim/system.hpp"
 #include "workload/catalog.hpp"
@@ -56,6 +57,20 @@ page_policy_name(PagePolicy policy)
 {
     return detail::policy_enum_name(policy);
 }
+
+/**
+ * One co-resident guest VM of a multi-VM scenario (VM 1..N-1; VM 0 is
+ * the victim's VM, described by the top-level config fields). Empty /
+ * zero fields inherit the scenario's corresponding value.
+ */
+struct VmSpec {
+    std::string workload = "stress-ng";  ///< catalog name of each job
+    unsigned workers = 1;                ///< jobs booted in this VM
+    std::string policy;                  ///< empty = the scenario's policy
+    PolicyParams policy_params;          ///< used only when policy is set
+    double scale = 0.0;                  ///< 0 = the scenario's scale
+    std::uint64_t guest_frames = 0;      ///< 0 = the platform default
+};
 
 /**
  * Declarative description of one run.
@@ -108,6 +123,17 @@ struct ScenarioConfig {
     /// order). Because scheduling is done in op space, one recorded
     /// trace drives every {policy × table} leg identically.
     std::string trace_replay;
+    /// Co-resident VM count sharing the host (1 = the historic single-VM
+    /// scenario). VMs beyond the first are described by vm_specs; when
+    /// that list is shorter than vms - 1 the last spec repeats.
+    unsigned vms = 1;
+    std::vector<VmSpec> vm_specs;
+    /// Host overcommit-survival policy (balloon sweeps, backoff,
+    /// OOM-kill); inert unless armed().
+    OvercommitPolicy overcommit;
+    /// Seeded VM churn schedule (boot/kill/fork storms); inert unless
+    /// armed(). Incompatible with trace record/replay.
+    ChurnPlan churn;
     PlatformConfig platform;
 
     // ---- fluent setters --------------------------------------------
@@ -233,6 +259,32 @@ struct ScenarioConfig {
         trace_replay = std::move(path);
         return *this;
     }
+    /// Co-locate @p n VMs on the host (clamped to at least 1).
+    ScenarioConfig &
+    with_vms(unsigned n)
+    {
+        vms = n < 1 ? 1 : n;
+        return *this;
+    }
+    /// Append one co-resident VM description (repeatable).
+    ScenarioConfig &
+    with_vm_spec(VmSpec spec)
+    {
+        vm_specs.push_back(std::move(spec));
+        return *this;
+    }
+    ScenarioConfig &
+    with_overcommit(OvercommitPolicy oc)
+    {
+        overcommit = std::move(oc);
+        return *this;
+    }
+    ScenarioConfig &
+    with_churn(ChurnPlan plan)
+    {
+        churn = std::move(plan);
+        return *this;
+    }
 
     // ---- resolution -------------------------------------------------
     /// Factory name this run will use: policy_name when set, else the
@@ -260,6 +312,45 @@ struct ScenarioConfig {
     {
         return platform.translation_table;
     }
+    /// Spec of co-resident VM @p index (>= 1): the matching vm_specs
+    /// entry, with the last one repeating past the end of the list; a
+    /// default-constructed spec when the list is empty.
+    VmSpec
+    vm_spec_for(unsigned index) const
+    {
+        if (vm_specs.empty())
+            return VmSpec{};
+        std::size_t i = index >= 1 ? index - 1 : 0;
+        if (i >= vm_specs.size())
+            i = vm_specs.size() - 1;
+        return vm_specs[i];
+    }
+    /// True when the run exercises the multi-VM / overcommit machinery.
+    bool
+    multi_vm() const
+    {
+        return vms > 1 || overcommit.armed() || churn.armed();
+    }
+};
+
+/**
+ * Per-VM survival record of a multi-VM run: one entry per VM slot,
+ * killed VMs included. An OOM-kill surfaces here as a degraded status —
+ * never as a SimError — so the run (and its surviving VMs' metrics)
+ * completes normally.
+ */
+struct VmRecord {
+    unsigned vm = 0;
+    /// "alive", "oom_killed", or "churn_killed".
+    std::string status = "alive";
+    std::string status_detail;
+    std::uint64_t balloon_pages = 0;       ///< guest frames the balloon took
+    std::uint64_t frames_repossessed = 0;  ///< host frames freed at kill
+    /// Host frames backing the VM at run end (at kill time for victims).
+    std::uint64_t backed_pages = 0;
+    std::uint64_t walk_cycles = 0;         ///< summed over the VM's jobs
+    std::uint64_t ops = 0;                 ///< summed over the VM's jobs
+    std::uint64_t oom_events = 0;          ///< guest-side unserviceable faults
 };
 
 /// Everything a run reports.
@@ -292,6 +383,20 @@ struct ScenarioResult {
     std::uint64_t frames_reclaimed = 0;   ///< frames released by reclaim
     std::uint64_t fallback_singles = 0;   ///< provider single-frame fallbacks
     std::uint64_t oom_events = 0;         ///< unserviceable guest faults
+
+    // ---- multi-VM overcommit survival (populated only when the config's
+    // multi_vm() is true; empty/zero for historic single-VM runs) ------
+    std::vector<VmRecord> vms;            ///< one record per VM slot
+    std::uint64_t host_reclaim_sweeps = 0;
+    std::uint64_t host_emergency_sweeps = 0;
+    std::uint64_t host_backoff_waits = 0;
+    std::uint64_t host_balloon_pages = 0;
+    std::uint64_t host_frames_unbacked = 0;
+    std::uint64_t oom_kills = 0;
+    std::uint64_t churn_boots = 0;
+    std::uint64_t churn_kills = 0;
+    std::uint64_t churn_forks = 0;
+    std::uint64_t churn_boot_failures = 0;
 
     // ---- simulator-performance provenance (host-side, NOT simulated
     // state: excluded from the determinism comparisons) ---------------

@@ -23,6 +23,12 @@
  * and the order of simulated events, both of which are fixed per run —
  * so a plan yields bit-identical metrics across repeats and across
  * ExperimentSuite thread counts.
+ *
+ * Multi-VM runs share one injector: every guest buddy consults the same
+ * GuestBuddy gate, so a denial rule's match index counts allocations
+ * across all co-resident VMs in simulated order. That order is itself
+ * deterministic (serial round-robin scheduling plus the seeded churn
+ * schedule), so the determinism contract is unchanged.
  */
 #pragma once
 

@@ -77,10 +77,17 @@ collect_metrics(const System &system, const Job &job)
     m.set("host_pt_mem_accesses",
           snap.value(p + ".walker.host_pt_mem_accesses"));
 
-    FragmentationReport frag =
-        host_pt_fragmentation(job.process(), system.vm());
-    m.set("host_pt_fragmentation", frag.average_hpte_lines);
-    m.set("fragmented_group_fraction", frag.fragmented_fraction);
+    // Fragmentation is measured against the job's own VM's host page
+    // table; an OOM-killed VM has no host-side table left to inspect.
+    if (const host::VmInstance *vm = system.vm_if_alive(job.vm_index())) {
+        FragmentationReport frag =
+            host_pt_fragmentation(job.process(), *vm);
+        m.set("host_pt_fragmentation", frag.average_hpte_lines);
+        m.set("fragmented_group_fraction", frag.fragmented_fraction);
+    } else {
+        m.set("host_pt_fragmentation", 0.0);
+        m.set("fragmented_group_fraction", 0.0);
+    }
     return m;
 }
 

@@ -31,6 +31,8 @@ apply_sweep_param(ScenarioConfig &config, const std::string &param,
     else if (param == "pressure_every")
         config.fault_plan.periodic_pressure(
             static_cast<std::uint64_t>(value));
+    else if (param == "vms")
+        config.with_vms(static_cast<unsigned>(value));
     else
         ptm_fatal("unknown sweep parameter '%s'", param.c_str());
 }
@@ -144,6 +146,12 @@ SuiteResult::to_json() const
         e.set("attempts", entry.attempts);
         if (entry.failed())
             e.set("error", entry.error);
+        if (!entry.attempt_errors.empty()) {
+            Json errors = Json::array();
+            for (const std::string &message : entry.attempt_errors)
+                errors.push_back(message);
+            e.set("errors", std::move(errors));
+        }
         if (entry.is_paired()) {
             e.set("baseline", sim::to_json(entry.paired.baseline));
             e.set("ptemagnet", sim::to_json(entry.paired.ptemagnet));
@@ -304,6 +312,14 @@ ExperimentSuite::run(const SuiteOptions &options) const
                     out = run_scenario(config);
                     return;
                 } catch (const SimError &e) {
+                    {
+                        // Record every attempt's error, not just the one
+                        // that exhausted the retries: a retried-then-
+                        // green leg stays distinguishable from a clean
+                        // one in the entry JSON.
+                        std::lock_guard<std::mutex> lock(status_mutex);
+                        slot.attempt_errors.push_back(e.what());
+                    }
                     if (attempt < retries)
                         continue;
                     std::lock_guard<std::mutex> lock(status_mutex);
@@ -425,6 +441,39 @@ to_json(const ScenarioConfig &config)
     j.set("corunner_warmup_ops", config.corunner_warmup_ops);
     j.set("stop_corunners_after_init", config.stop_corunners_after_init);
     j.set("measure_init", config.measure_init);
+    // Multi-VM axes only appear when exercised, keeping single-VM BENCH
+    // documents byte-stable.
+    if (config.multi_vm()) {
+        j.set("vms", config.vms);
+        if (config.overcommit.armed()) {
+            Json oc = Json::object();
+            oc.set("low_watermark_frames",
+                   config.overcommit.low_watermark_frames);
+            oc.set("high_watermark_frames",
+                   config.overcommit.high_watermark_frames);
+            oc.set("balloon_step", config.overcommit.balloon_step);
+            oc.set("backoff_initial", config.overcommit.backoff_initial);
+            oc.set("backoff_max", config.overcommit.backoff_max);
+            oc.set("victim_policy", config.overcommit.victim_policy);
+            oc.set("oom_kill_enabled", config.overcommit.oom_kill_enabled);
+            oc.set("protect_primary", config.overcommit.protect_primary);
+            j.set("overcommit", std::move(oc));
+        }
+        if (config.churn.armed()) {
+            Json churn = Json::object();
+            churn.set("seed", config.churn.seed);
+            churn.set("workload", config.churn.workload);
+            churn.set("scale", config.churn.scale);
+            churn.set("guest_frames", config.churn.guest_frames);
+            churn.set("boots",
+                      config.churn.count(ChurnAction::Boot));
+            churn.set("kills",
+                      config.churn.count(ChurnAction::Kill));
+            churn.set("forks",
+                      config.churn.count(ChurnAction::Fork));
+            j.set("churn", std::move(churn));
+        }
+    }
     return j;
 }
 
@@ -465,6 +514,36 @@ to_json(const ScenarioResult &result)
     rob.set("frames_reclaimed", result.frames_reclaimed);
     rob.set("fallback_singles", result.fallback_singles);
     rob.set("oom_events", result.oom_events);
+    // Overcommit-survival telemetry, present only for multi-VM runs so
+    // historic single-VM documents keep their exact shape.
+    if (!result.vms.empty()) {
+        rob.set("host_reclaim_sweeps", result.host_reclaim_sweeps);
+        rob.set("host_emergency_sweeps", result.host_emergency_sweeps);
+        rob.set("host_backoff_waits", result.host_backoff_waits);
+        rob.set("host_balloon_pages", result.host_balloon_pages);
+        rob.set("host_frames_unbacked", result.host_frames_unbacked);
+        rob.set("oom_kills", result.oom_kills);
+        rob.set("churn_boots", result.churn_boots);
+        rob.set("churn_kills", result.churn_kills);
+        rob.set("churn_forks", result.churn_forks);
+        rob.set("churn_boot_failures", result.churn_boot_failures);
+        Json vms = Json::array();
+        for (const VmRecord &rec : result.vms) {
+            Json v = Json::object();
+            v.set("vm", rec.vm);
+            v.set("status", rec.status);
+            if (!rec.status_detail.empty())
+                v.set("status_detail", rec.status_detail);
+            v.set("balloon_pages", rec.balloon_pages);
+            v.set("frames_repossessed", rec.frames_repossessed);
+            v.set("backed_pages", rec.backed_pages);
+            v.set("walk_cycles", rec.walk_cycles);
+            v.set("ops", rec.ops);
+            v.set("oom_events", rec.oom_events);
+            vms.push_back(std::move(v));
+        }
+        rob.set("vms", std::move(vms));
+    }
     j.set("robustness", std::move(rob));
 
     Json perf = Json::object();
@@ -537,6 +616,52 @@ scenario_result_from_json(const Json &json)
         result.frames_reclaimed = rob.at("frames_reclaimed").as_u64();
         result.fallback_singles = rob.at("fallback_singles").as_u64();
         result.oom_events = rob.at("oom_events").as_u64();
+        // Each multi-VM key guarded on its own: documents from single-VM
+        // runs (and older BENCH files) simply lack them.
+        if (rob.contains("host_reclaim_sweeps"))
+            result.host_reclaim_sweeps =
+                rob.at("host_reclaim_sweeps").as_u64();
+        if (rob.contains("host_emergency_sweeps"))
+            result.host_emergency_sweeps =
+                rob.at("host_emergency_sweeps").as_u64();
+        if (rob.contains("host_backoff_waits"))
+            result.host_backoff_waits =
+                rob.at("host_backoff_waits").as_u64();
+        if (rob.contains("host_balloon_pages"))
+            result.host_balloon_pages =
+                rob.at("host_balloon_pages").as_u64();
+        if (rob.contains("host_frames_unbacked"))
+            result.host_frames_unbacked =
+                rob.at("host_frames_unbacked").as_u64();
+        if (rob.contains("oom_kills"))
+            result.oom_kills = rob.at("oom_kills").as_u64();
+        if (rob.contains("churn_boots"))
+            result.churn_boots = rob.at("churn_boots").as_u64();
+        if (rob.contains("churn_kills"))
+            result.churn_kills = rob.at("churn_kills").as_u64();
+        if (rob.contains("churn_forks"))
+            result.churn_forks = rob.at("churn_forks").as_u64();
+        if (rob.contains("churn_boot_failures"))
+            result.churn_boot_failures =
+                rob.at("churn_boot_failures").as_u64();
+        if (rob.contains("vms")) {
+            for (const Json &v : rob.at("vms").as_array()) {
+                VmRecord rec;
+                rec.vm = static_cast<unsigned>(v.at("vm").as_u64());
+                rec.status = v.at("status").as_string();
+                if (v.contains("status_detail"))
+                    rec.status_detail =
+                        v.at("status_detail").as_string();
+                rec.balloon_pages = v.at("balloon_pages").as_u64();
+                rec.frames_repossessed =
+                    v.at("frames_repossessed").as_u64();
+                rec.backed_pages = v.at("backed_pages").as_u64();
+                rec.walk_cycles = v.at("walk_cycles").as_u64();
+                rec.ops = v.at("ops").as_u64();
+                rec.oom_events = v.at("oom_events").as_u64();
+                result.vms.push_back(std::move(rec));
+            }
+        }
     }
 
     const Json &perf = json.at("sim_perf");

@@ -70,6 +70,10 @@ struct EntryResult {
     EntryStatus status = EntryStatus::Ok;
     std::string error;      ///< first SimError message when Failed
     unsigned attempts = 0;  ///< run_scenario calls spent on this entry
+    /// Every failed attempt's SimError message, in occurrence order —
+    /// retried-then-succeeded legs leave their history here too, so a
+    /// flaky entry is distinguishable from a clean one.
+    std::vector<std::string> attempt_errors;
 
     bool is_paired() const { return entry.kind == RunKind::Paired; }
     bool failed() const { return status == EntryStatus::Failed; }
@@ -159,8 +163,8 @@ class ExperimentSuite {
      * @p base with @p param set to the value, named
      * "<label>/<param>=<value>". Supported params: reservation_pages,
      * scale, measure_ops, seed, corunner_warmup_ops, pressure_every
-     * (periodic FaultPlan pressure cadence in faults; 0 = unarmed);
-     * unknown names are fatal.
+     * (periodic FaultPlan pressure cadence in faults; 0 = unarmed), vms
+     * (co-resident VM count); unknown names are fatal.
      */
     void sweep(const std::string &label, const std::string &param,
                const std::vector<double> &values, ScenarioConfig base,

@@ -1,13 +1,16 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
 #include <chrono>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "core/ptemagnet_provider.hpp"
 #include "pt/page_table.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/fault_injection.hpp"
 #include "vm/provider_factory.hpp"
+#include "workload/catalog.hpp"
 
 namespace ptm::sim {
 
@@ -19,7 +22,7 @@ Job::Job(unsigned core, vm::Process *process,
 
 /**
  * WorkloadContext implementation binding a workload to its process: mmap
- * and munmap go through the guest kernel and are charged to the job.
+ * and munmap go through the job's guest kernel and are charged to the job.
  */
 class System::JobWorkloadContext final : public workload::WorkloadContext {
   public:
@@ -44,14 +47,14 @@ class System::JobWorkloadContext final : public workload::WorkloadContext {
             job_->stats_.cycles.inc(
                 system_->config_.munmap_page_cycles * vma->pages());
         }
-        system_->guest_->free_region(*job_->process_, base);
+        job_->slot_->guest->free_region(*job_->process_, base);
     }
 
     void
     free_page(Addr gva) override
     {
         job_->stats_.cycles.inc(system_->config_.munmap_page_cycles);
-        system_->guest_->free_page(*job_->process_, page_number(gva));
+        job_->slot_->guest->free_page(*job_->process_, page_number(gva));
     }
 
   private:
@@ -68,42 +71,38 @@ System::System(const PlatformConfig &config, unsigned num_cores)
         host_->set_translation_table(config_.translation_table,
                                      config_.table_params);
     }
-    vm_ = &host_->create_vm();
-    guest_ = std::make_unique<vm::GuestKernel>(config_.guest_frames,
-                                               config_.guest_costs);
-    if (config_.translation_table != "radix") {
-        guest_->set_translation_table(config_.translation_table,
-                                      config_.table_params);
-    }
+
+    // VM 0 boots first so the registration order of single-VM runs stays
+    // exactly historic: "vm0" -> "host" -> "vm0.hier".
+    boot_slot(config_.guest_frames, /*churn_booted=*/false);
+
     hierarchy_ = std::make_unique<cache::MemoryHierarchy>(
         config_.hierarchy, num_cores, &rng_);
-
-    host_ctx_ = mmu::HostContext{
-        .page_table = &vm_->page_table(),
-        .fault_handler = mmu::FaultHook(&System::host_fault_thunk, this),
-    };
-    // Enable the walker's fused descent when the table really is the
-    // radix implementation (it always is on the host side today, but the
-    // cast keeps that a local fact rather than an assumption).
-    host_ctx_.radix =
-        dynamic_cast<const pt::PageTable *>(host_ctx_.page_table);
-
-    // Stale-translation shootdowns: drop the data-TLB entry on the core
-    // of the affected process.
-    guest_->on_translation_invalidated =
-        [this](std::int32_t pid, std::uint64_t gvpn) {
-            for (auto &job : jobs_) {
-                if (job->process_->pid() == pid)
-                    job->walker_->invalidate(gvpn);
-            }
-        };
 
     // Wire every component into the stat registry up front; jobs add
     // their per-core subtrees as they are created. Registration is
     // pointer capture only — the hot path never consults the registry.
-    guest_->register_stats(registry_, "vm0");
     host_->register_stats(registry_, "host");
+    // The shared hierarchy keeps its historic "vm0.hier" path: it is one
+    // machine-level component, and path stability matters more than the
+    // (single-VM era) prefix.
     hierarchy_->register_stats(registry_, "vm0.hier");
+
+    // Balloon shootdowns: a host backing dropped by unback() may still be
+    // cached in the owning VM's nested TLBs (keyed by gfn, so no other
+    // VM can alias it).
+    host_->on_backing_invalidated =
+        [this](std::int32_t vm_id, std::uint64_t gfn) {
+            for (auto &slot : slots_) {
+                if (slot->vm == nullptr || slot->vm->id() != vm_id)
+                    continue;
+                for (auto &job : jobs_) {
+                    if (job->slot_ == slot.get())
+                        job->walker_->invalidate_nested(gfn);
+                }
+                return;
+            }
+        };
 
     batch_depth_ = config_.walk_batch < 1 ? 1 : config_.walk_batch;
     if (batch_depth_ > mmu::WalkRegisterFile::kCapacity)
@@ -112,16 +111,100 @@ System::System(const PlatformConfig &config, unsigned num_cores)
 
 System::~System() = default;
 
-void
-System::set_policy(const std::string &name, const PolicyParams &params)
+const VmSlot &
+System::slot_at(unsigned index) const
 {
-    if (!jobs_.empty())
-        ptm_fatal("set the allocation policy before adding jobs");
+    if (index >= slots_.size())
+        ptm_fatal("no vm slot %u (have %zu)", index, slots_.size());
+    return *slots_[index];
+}
+
+host::VmInstance &
+System::vm_instance(unsigned index)
+{
+    VmSlot &slot = slot_at(index);
+    if (slot.vm == nullptr)
+        ptm_panic("vm%u is dead (%s): no host-side instance", index,
+                  slot.status.c_str());
+    return *slot.vm;
+}
+
+unsigned
+System::boot_slot(std::uint64_t guest_frames, bool churn_booted)
+{
+    const unsigned index = static_cast<unsigned>(slots_.size());
+    auto slot = std::make_unique<VmSlot>();
+    slot->index = index;
+    slot->system = this;
+    slot->prefix = "vm" + std::to_string(index);
+    slot->churn_booted = churn_booted;
+
+    // Throws a recoverable SimError when the host cannot back the boot
+    // page-table frames; nothing is registered in that case.
+    slot->vm = &host_->create_vm();
+
+    slot->guest = std::make_unique<vm::GuestKernel>(
+        guest_frames != 0 ? guest_frames : config_.guest_frames,
+        config_.guest_costs);
+    if (config_.translation_table != "radix") {
+        slot->guest->set_translation_table(config_.translation_table,
+                                           config_.table_params);
+    }
+
+    slot->host_ctx = mmu::HostContext{
+        .page_table = &slot->vm->page_table(),
+        .fault_handler =
+            mmu::FaultHook(&System::host_fault_thunk, slot.get()),
+    };
+    // Enable the walker's fused descent when the table really is the
+    // radix implementation (it always is on the host side today, but the
+    // cast keeps that a local fact rather than an assumption).
+    slot->host_ctx.radix =
+        dynamic_cast<const pt::PageTable *>(slot->host_ctx.page_table);
+
+    // Stale-translation shootdowns: drop the data-TLB entry on the core
+    // of the affected process (scoped to this VM's jobs).
+    VmSlot *raw = slot.get();
+    slot->guest->on_translation_invalidated =
+        [this, raw](std::int32_t pid, std::uint64_t gvpn) {
+            for (auto &job : jobs_) {
+                if (job->slot_ == raw && job->process_->pid() == pid)
+                    job->walker_->invalidate(gvpn);
+            }
+        };
+
+    slot->guest->register_stats(registry_, slot->prefix);
+    if (trace_ != nullptr)
+        slot->guest->set_trace_sink(trace_);
+    if (injector_ != nullptr) {
+        slot->guest->buddy().set_alloc_gate(injector_->guest_gate());
+        slot->guest->set_pressure_agent(injector_);
+    }
+
+    slots_.push_back(std::move(slot));
+    return index;
+}
+
+unsigned
+System::boot_vm(std::uint64_t guest_frames)
+{
+    return boot_slot(guest_frames, /*churn_booted=*/false);
+}
+
+void
+System::set_policy(unsigned index, const std::string &name,
+                   const PolicyParams &params)
+{
+    VmSlot &slot = slot_at(index);
+    for (auto &job : jobs_) {
+        if (job->slot_ == &slot)
+            ptm_fatal("set the allocation policy before adding jobs");
+    }
     std::unique_ptr<vm::PhysicalPageProvider> provider =
-        vm::make_provider(name, guest_.get(), params);
-    ptemagnet_ = dynamic_cast<core::PtemagnetProvider *>(provider.get());
-    provider->register_stats(registry_, "vm0.provider");
-    guest_->set_provider(std::move(provider));
+        vm::make_provider(name, slot.guest.get(), params);
+    slot.ptemagnet = dynamic_cast<core::PtemagnetProvider *>(provider.get());
+    provider->register_stats(registry_, slot.prefix + ".provider");
+    slot.guest->set_provider(std::move(provider));
 }
 
 void
@@ -135,50 +218,113 @@ System::enable_ptemagnet(unsigned group_pages)
 void
 System::arm_fault_injection(FaultInjector &injector)
 {
-    guest_->buddy().set_alloc_gate(injector.guest_gate());
+    for (auto &slot : slots_)
+        slot->guest->buddy().set_alloc_gate(injector.guest_gate());
     host_->buddy().set_alloc_gate(injector.host_gate());
-    guest_->set_pressure_agent(&injector);
+    for (auto &slot : slots_)
+        slot->guest->set_pressure_agent(&injector);
     injector.register_stats(registry_, "fault_injection");
+    injector_ = &injector;  // VMs booted later are gated in boot_slot
+}
+
+void
+System::register_overcommit_stats()
+{
+    if (ocstats_registered_)
+        return;
+    ocstats_.register_stats(registry_, "host.overcommit");
+    ocstats_registered_ = true;
+}
+
+void
+System::set_overcommit(const OvercommitPolicy &policy)
+{
+    if (overcommit_.armed())
+        ptm_fatal("overcommit policy already armed");
+    if (!policy.armed())
+        return;
+    if (policy.victim_policy != "largest_backed" &&
+        policy.victim_policy != "lowest_index" &&
+        policy.victim_policy != "youngest") {
+        ptm_fatal("unknown OOM victim policy '%s' (largest_backed, "
+                  "lowest_index, youngest)",
+                  policy.victim_policy.c_str());
+    }
+    if (policy.high_watermark_frames < policy.low_watermark_frames)
+        ptm_fatal("overcommit high watermark below the low watermark");
+    overcommit_ = policy;
+    backoff_ = overcommit_.backoff_initial;
+    next_sweep_tick_ = 0;
+    if (overcommit_.protect_primary && !slots_.empty())
+        slots_[0]->oom_protected = true;
+    register_overcommit_stats();
+}
+
+void
+System::set_churn_plan(const ChurnPlan &plan)
+{
+    if (churn_.armed())
+        ptm_fatal("churn plan already armed");
+    if (!plan.armed())
+        return;
+    churn_ = plan;
+    churn_cursor_ = 0;
+    register_overcommit_stats();
 }
 
 void
 System::set_trace_sink(obs::TraceSink *sink)
 {
     trace_ = sink;
-    guest_->set_trace_sink(sink);
+    for (auto &slot : slots_)
+        slot->guest->set_trace_sink(sink);
     host_->set_trace_sink(sink);
 }
 
 Job &
-System::add_job(std::unique_ptr<workload::Workload> workload)
+System::add_job(unsigned vm_index,
+                std::unique_ptr<workload::Workload> workload)
 {
-    vm::Process &process = guest_->create_process(workload->name());
-    return make_job(process, std::move(workload));
+    VmSlot &slot = slot_at(vm_index);
+    if (!slot.alive)
+        ptm_fatal("cannot add a job to dead vm%u", vm_index);
+    vm::Process &process = slot.guest->create_process(workload->name());
+    return make_job(slot, process, std::move(workload));
 }
 
 Job &
 System::fork_job(Job &parent, std::unique_ptr<workload::Workload> workload)
 {
-    vm::Process &child = guest_->fork(parent.process());
-    Job &job = make_job(child, std::move(workload));
+    VmSlot &slot = *parent.slot_;
+    vm::Process &child = slot.guest->fork(parent.process());
+    Job &job = make_job(slot, child, std::move(workload));
     parent.cow_possible_ = true;
     job.cow_possible_ = true;
     return job;
 }
 
 Job &
-System::make_job(vm::Process &process,
+System::make_job(VmSlot &slot, vm::Process &process,
                  std::unique_ptr<workload::Workload> workload)
 {
-    unsigned core = static_cast<unsigned>(jobs_.size());
-    if (core >= hierarchy_->num_cores())
-        ptm_fatal("more jobs than cores (%u)", hierarchy_->num_cores());
+    // Reuse cores returned by killed VMs before minting fresh ones; with
+    // no kills the assignment sequence is the historic jobs_.size().
+    unsigned core;
+    if (!free_cores_.empty()) {
+        core = free_cores_.back();
+        free_cores_.pop_back();
+    } else {
+        if (next_core_ >= hierarchy_->num_cores())
+            ptm_fatal("more jobs than cores (%u)", hierarchy_->num_cores());
+        core = next_core_++;
+    }
 
     auto job = std::make_unique<Job>(core, &process, std::move(workload));
     job->system_ = this;
+    job->slot_ = &slot;
     job->walker_ = std::make_unique<mmu::NestedWalker>(
-        core, config_.tlb, hierarchy_.get(), host_ctx_);
-    job->stat_prefix_ = "vm0.core" + std::to_string(core);
+        core, config_.tlb, hierarchy_.get(), slot.host_ctx);
+    job->stat_prefix_ = slot.prefix + ".core" + std::to_string(core);
     const std::string j = job->stat_prefix_ + ".job";
     const obs::ResetScope scope = obs::ResetScope::Measurement;
     registry_.counter(j + ".ops", &job->stats_.ops, scope);
@@ -207,6 +353,232 @@ System::make_job(vm::Process &process,
 }
 
 void
+System::kill_vm(unsigned index, const char *status, std::string detail)
+{
+    VmSlot &slot = slot_at(index);
+    if (!slot.alive)
+        return;
+
+    // Finish the VM's jobs and return their cores to the pool. The job
+    // vector itself is never mutated: run_until may be iterating it.
+    for (auto &job : jobs_) {
+        if (job->slot_ != &slot)
+            continue;
+        job->finished_ = true;
+        if (!job->core_released_) {
+            free_cores_.push_back(job->core_);
+            job->core_released_ = true;
+        }
+    }
+
+    slot.alive = false;
+    slot.status = status;
+    slot.status_detail = std::move(detail);
+    slot.backed_pages_at_kill = slot.vm->backed_pages();
+    slot.frames_repossessed = host_->destroy_vm(*slot.vm);
+    slot.vm = nullptr;
+    slot.host_ctx.page_table = nullptr;
+    slot.host_ctx.radix = nullptr;
+}
+
+// ---- overcommit survival ----------------------------------------------
+
+std::uint64_t
+System::reclaim_sweep(std::uint64_t target)
+{
+    ocstats_.reclaim_sweeps.inc();
+    std::uint64_t freed = 0;
+    for (auto &slot : slots_) {
+        if (freed >= target)
+            break;
+        if (!slot->alive)
+            continue;
+        balloon_scratch_.clear();
+        std::uint64_t taken = slot->guest->balloon_inflate(
+            overcommit_.balloon_step, balloon_scratch_);
+        ocstats_.balloon_pages.inc(taken);
+        for (std::uint64_t gfn : balloon_scratch_) {
+            // Unproductive when the guest never touched the frame: the
+            // balloon took a page the host never backed.
+            freed += host_->unback(*slot->vm, gfn) ? 1 : 0;
+        }
+    }
+    ocstats_.frames_unbacked.inc(freed);
+    return freed;
+}
+
+void
+System::reclaim_daemon_tick()
+{
+    ++reclaim_ticks_;
+    const std::uint64_t free = host_->buddy().free_frames_count();
+    if (free >= overcommit_.low_watermark_frames)
+        return;
+    if (reclaim_ticks_ < next_sweep_tick_) {
+        ocstats_.backoff_waits.inc();
+        return;
+    }
+    const std::uint64_t freed =
+        reclaim_sweep(overcommit_.high_watermark_frames - free);
+    // Bounded exponential backoff: dry sweeps space out (the guests have
+    // nothing left to give), a productive sweep resets the cadence.
+    backoff_ = freed == 0
+                   ? std::min(backoff_ * 2, overcommit_.backoff_max)
+                   : overcommit_.backoff_initial;
+    next_sweep_tick_ = reclaim_ticks_ + backoff_;
+}
+
+int
+System::choose_oom_victim(unsigned faulting_index) const
+{
+    int best = -1;
+    for (const auto &slot : slots_) {
+        const VmSlot &s = *slot;
+        // Never the faulting VM: its walker is mid-descent in its own
+        // host page table.
+        if (!s.alive || s.oom_protected || s.index == faulting_index)
+            continue;
+        if (best < 0) {
+            best = static_cast<int>(s.index);
+            continue;
+        }
+        const VmSlot &b = *slots_[static_cast<unsigned>(best)];
+        if (overcommit_.victim_policy == "largest_backed") {
+            if (s.vm->backed_pages() > b.vm->backed_pages())
+                best = static_cast<int>(s.index);
+        } else if (overcommit_.victim_policy == "youngest") {
+            best = static_cast<int>(s.index);  // higher index == younger
+        }
+        // "lowest_index": keep the first candidate.
+    }
+    return best;
+}
+
+mmu::FaultOutcome
+System::handle_host_fault(VmSlot &slot, std::uint64_t gfn)
+{
+    if (slot.vm == nullptr)
+        return {.ok = false};  // fault from a VM killed mid-chunk
+
+    if (overcommit_.armed())
+        reclaim_daemon_tick();
+
+    mmu::FaultOutcome out = host_->handle_fault(*slot.vm, gfn);
+    if (out.ok || !overcommit_.armed())
+        return out;
+
+    // Survival ladder, rung 1: emergency balloon sweep ignoring the
+    // backoff clock — the host is out of frames right now.
+    ocstats_.emergency_sweeps.inc();
+    reclaim_sweep(overcommit_.high_watermark_frames);
+    out = host_->handle_fault(*slot.vm, gfn);
+    if (out.ok)
+        return out;
+
+    // Rung 2: OOM-kill policy-chosen victims until the fault succeeds or
+    // no candidate remains. The kill is recorded in the victim's slot —
+    // the run itself survives.
+    while (overcommit_.oom_kill_enabled) {
+        const int victim = choose_oom_victim(slot.index);
+        if (victim < 0)
+            break;
+        ocstats_.oom_kills.inc();
+        kill_vm(static_cast<unsigned>(victim), "oom_killed",
+                strprintf("host OOM backing vm%u gfn %llu", slot.index,
+                          static_cast<unsigned long long>(gfn)));
+        out = host_->handle_fault(*slot.vm, gfn);
+        if (out.ok)
+            return out;
+    }
+    return out;  // !ok: the walker raises a recoverable SimError
+}
+
+// ---- churn engine ------------------------------------------------------
+
+void
+System::churn_boot()
+{
+    ++churn_boot_seq_;
+    if (!has_free_core()) {
+        ocstats_.churn_boot_failures.inc();
+        return;
+    }
+    unsigned index;
+    try {
+        index = boot_slot(churn_.guest_frames, /*churn_booted=*/true);
+    } catch (const SimError &) {
+        // Host too full to admit the VM: a refused boot, not a crash.
+        ocstats_.churn_boot_failures.inc();
+        return;
+    }
+    ocstats_.churn_boots.inc();
+    workload::WorkloadOptions options;
+    options.scale = churn_.scale;
+    options.seed = churn_.seed + 7919ULL * churn_boot_seq_;
+    add_job(index, workload::make_workload(churn_.workload, options));
+}
+
+void
+System::churn_kill()
+{
+    for (auto &slot : slots_) {
+        if (slot->churn_booted && slot->alive) {
+            ocstats_.churn_kills.inc();
+            kill_vm(slot->index, "churn_killed", "seeded churn storm");
+            return;
+        }
+    }
+    // No live churn VM to kill: the event is a no-op.
+}
+
+void
+System::churn_fork()
+{
+    if (!has_free_core()) {
+        ocstats_.churn_boot_failures.inc();
+        return;
+    }
+    std::vector<Job *> candidates;
+    for (auto &job : jobs_) {
+        if (!job->finished_ && job->slot_->churn_booted &&
+            job->slot_->alive) {
+            candidates.push_back(job.get());
+        }
+    }
+    if (candidates.empty())
+        return;
+    Job &parent = *candidates[churn_fork_seq_ % candidates.size()];
+    ++churn_fork_seq_;
+    workload::WorkloadOptions options;
+    options.scale = churn_.scale;
+    options.seed = churn_.seed + 104729ULL * churn_fork_seq_;
+    try {
+        fork_job(parent,
+                 workload::make_workload(churn_.workload, options));
+        ocstats_.churn_forks.inc();
+    } catch (const SimError &) {
+        // Guest too full to clone the address space: refused, not fatal.
+        ocstats_.churn_boot_failures.inc();
+    }
+}
+
+void
+System::churn_tick()
+{
+    while (churn_cursor_ < churn_.events.size() &&
+           churn_.events[churn_cursor_].at_step <= total_steps_) {
+        const ChurnEvent &event = churn_.events[churn_cursor_++];
+        switch (event.action) {
+          case ChurnAction::Boot: churn_boot(); break;
+          case ChurnAction::Kill: churn_kill(); break;
+          case ChurnAction::Fork: churn_fork(); break;
+        }
+    }
+}
+
+// ---- execution ---------------------------------------------------------
+
+void
 System::step(Job &job)
 {
     if (job.finished_ || job.paused_)
@@ -228,8 +600,8 @@ System::step(Job &job)
 
     // COW break check: only needed once the process has forked children.
     if (op->write && job.cow_possible_) {
-        cycles += guest_->handle_write(*job.process_,
-                                       page_number(op->gva));
+        cycles += job.slot_->guest->handle_write(*job.process_,
+                                                 page_number(op->gva));
     }
 
     mmu::TranslationResult trans =
@@ -361,15 +733,15 @@ System::step_batch(Job &job, unsigned max_ops)
 mmu::FaultOutcome
 System::host_fault_thunk(void *ctx, std::uint64_t gfn)
 {
-    auto *system = static_cast<System *>(ctx);
-    return system->host_->handle_fault(*system->vm_, gfn);
+    auto *slot = static_cast<VmSlot *>(ctx);
+    return slot->system->handle_host_fault(*slot, gfn);
 }
 
 mmu::FaultOutcome
 System::guest_fault_thunk(void *ctx, std::uint64_t gvpn)
 {
     auto *job = static_cast<Job *>(ctx);
-    return job->system_->guest_->handle_fault(*job->process_, gvpn);
+    return job->slot_->guest->handle_fault(*job->process_, gvpn);
 }
 
 void

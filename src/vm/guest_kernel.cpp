@@ -118,8 +118,15 @@ GuestKernel::handle_fault(Process &proc, std::uint64_t gvpn)
         check_memory_pressure();
         alloc = provider_->allocate_page(proc, gvpn);
         if (!alloc.ok) {
-            stats_.oom_events.inc();
-            return {.ok = false};
+            // Dead last resort: pop ballooned frames back into the buddy
+            // (a no-op — and bit-identical to the historic path — when
+            // the host never inflated the balloon).
+            if (balloon_deflate(64) > 0)
+                alloc = provider_->allocate_page(proc, gvpn);
+            if (!alloc.ok) {
+                stats_.oom_events.inc();
+                return {.ok = false};
+            }
         }
     }
 
@@ -323,6 +330,51 @@ GuestKernel::check_memory_pressure()
                           {{"target", target}, {"reclaimed", reclaimed}});
 }
 
+std::uint64_t
+GuestKernel::balloon_inflate(std::uint64_t target,
+                             std::vector<std::uint64_t> &out_gfns)
+{
+    if (target == 0)
+        return 0;
+    stats_.balloon_inflations.inc();
+
+    std::uint64_t taken = 0;
+    while (taken < target) {
+        std::optional<std::uint64_t> gfn = buddy_.allocate_frame();
+        if (!gfn) {
+            // Free list dry: squeeze provider-held frames (reservation
+            // tails etc.) back into the buddy, then keep going.
+            std::uint64_t reclaimed = provider_->reclaim(target - taken);
+            if (reclaimed == 0)
+                break;  // the guest genuinely has nothing left to give
+            stats_.reclaim_runs.inc();
+            stats_.frames_reclaimed.inc(reclaimed);
+            continue;
+        }
+        memory_.set_use(*gfn, 1, mem::FrameUse::Kernel);
+        balloon_.push_back(*gfn);
+        out_gfns.push_back(*gfn);
+        ++taken;
+    }
+    stats_.balloon_pages_taken.inc(taken);
+    return taken;
+}
+
+std::uint64_t
+GuestKernel::balloon_deflate(std::uint64_t max_frames)
+{
+    std::uint64_t returned = 0;
+    while (returned < max_frames && !balloon_.empty()) {
+        std::uint64_t gfn = balloon_.back();
+        balloon_.pop_back();
+        memory_.set_use(gfn, 1, mem::FrameUse::Free);
+        buddy_.free(gfn);
+        ++returned;
+    }
+    stats_.balloon_pages_returned.inc(returned);
+    return returned;
+}
+
 void
 GuestKernel::register_stats(obs::StatRegistry &registry,
                             const std::string &prefix)
@@ -335,6 +387,12 @@ GuestKernel::register_stats(obs::StatRegistry &registry,
     registry.counter(k + ".reclaim_runs", &stats_.reclaim_runs);
     registry.counter(k + ".frames_reclaimed", &stats_.frames_reclaimed);
     registry.counter(k + ".oom_events", &stats_.oom_events);
+    registry.counter(k + ".balloon_inflations",
+                     &stats_.balloon_inflations);
+    registry.counter(k + ".balloon_pages_taken",
+                     &stats_.balloon_pages_taken);
+    registry.counter(k + ".balloon_pages_returned",
+                     &stats_.balloon_pages_returned);
     registry.histogram(k + ".fault_latency", &stats_.fault_latency);
     buddy_.register_stats(registry, prefix + ".buddy");
 }

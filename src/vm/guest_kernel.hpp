@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/params.hpp"
 #include "common/stats.hpp"
@@ -54,6 +55,9 @@ struct GuestKernelStats {
     Counter reclaim_runs;
     Counter frames_reclaimed;
     Counter oom_events;
+    Counter balloon_inflations;      ///< host-driven inflate requests
+    Counter balloon_pages_taken;     ///< guest frames handed to the host
+    Counter balloon_pages_returned;  ///< frames deflated back to the guest
     /// Fault-to-mapped latency of each demand fault, in cycles.
     Histogram fault_latency;
 };
@@ -167,6 +171,27 @@ class GuestKernel {
     /// Run the reclamation check immediately (tests / daemon tick).
     void check_memory_pressure();
 
+    /**
+     * Balloon driver, guest side (host overcommit): take up to @p target
+     * free guest frames out of the buddy allocator and park them in the
+     * balloon (FrameUse::Kernel). When the buddy runs dry the provider is
+     * asked to reclaim held frames first. The taken guest frame numbers
+     * are appended to @p out_gfns so the host can drop their backings.
+     * @return frames actually taken (<= target).
+     */
+    std::uint64_t balloon_inflate(std::uint64_t target,
+                                  std::vector<std::uint64_t> &out_gfns);
+
+    /**
+     * Return up to @p max_frames ballooned frames to the guest buddy
+     * (guest-OOM last resort; touching them will re-fault host backing).
+     * @return frames returned; 0 when the balloon is empty.
+     */
+    std::uint64_t balloon_deflate(std::uint64_t max_frames);
+
+    /// Frames currently held by the balloon.
+    std::uint64_t balloon_pages() const { return balloon_.size(); }
+
     const GuestKernelStats &stats() const { return stats_; }
 
     /// Register kernel counters + fault-latency histogram under
@@ -211,6 +236,8 @@ class GuestKernel {
     std::map<std::int32_t, std::unique_ptr<Process>> processes_;
     /// COW frame reference counts (only frames shared by >= 2 mappings).
     std::unordered_map<std::uint64_t, std::uint32_t> shared_frames_;
+    /// Guest frames surrendered to the host balloon (LIFO).
+    std::vector<std::uint64_t> balloon_;
     ReclaimPolicy reclaim_policy_;
     PressureAgent *pressure_agent_ = nullptr;  ///< normally unarmed
     obs::TraceSink *trace_ = nullptr;          ///< normally unarmed

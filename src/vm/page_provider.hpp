@@ -65,7 +65,10 @@ class PhysicalPageProvider {
 
     /**
      * Memory pressure: release provider-held frames until @p target_frames
-     * are freed or nothing is left to give back.
+     * are freed or nothing is left to give back. Invoked by the kernel's
+     * watermark daemon, by injected pressure episodes, and by the guest
+     * balloon driver when the host's overcommit daemon asks this VM to
+     * surrender frames and the free list alone cannot satisfy the target.
      * @return frames actually released to the buddy allocator.
      */
     virtual std::uint64_t reclaim(std::uint64_t target_frames)

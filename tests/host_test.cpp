@@ -4,6 +4,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/error.hpp"
 #include "host/host_kernel.hpp"
 
 namespace ptm::host {
@@ -66,6 +69,42 @@ TEST(HostKernel, OutOfMemoryReported)
         failed = !host.handle_fault(vm, std::uint64_t{i} * 512 * 512).ok;
     }
     EXPECT_TRUE(failed);
+}
+
+TEST(HostKernel, VmBootPastCapacityThrowsRecoverableError)
+{
+    // Each radix VM boot consumes one host frame for the page-table
+    // root: a 2-frame host admits two VMs and must refuse the third
+    // with a recoverable SimError naming the shortfall — not an assert
+    // deep inside the buddy allocator.
+    HostKernel host(2);
+    host.create_vm();
+    host.create_vm();
+    try {
+        host.create_vm();
+        FAIL() << "third create_vm() should have thrown";
+    } catch (const SimError &e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("free frames"), std::string::npos)
+            << message;
+    }
+    // The refusal left the host consistent: both admitted VMs work.
+    EXPECT_EQ(host.live_vm_count(), 2u);
+    host.buddy().check_invariants();
+}
+
+TEST(HostKernel, HashedVmBootPastCapacityThrowsAndLeaksNothing)
+{
+    // The hashed table allocates its bucket array at boot; a refused
+    // boot must release any frames it already took.
+    HostKernel host(12);
+    host.set_translation_table("hashed",
+                               PolicyParams{{"initial_frames", 8.0}});
+    host.create_vm();  // takes 8 of the 12 frames
+    const std::uint64_t free_before = host.buddy().free_frames_count();
+    EXPECT_THROW(host.create_vm(), SimError);
+    EXPECT_EQ(host.buddy().free_frames_count(), free_before);
+    host.buddy().check_invariants();
 }
 
 TEST(HostKernel, MultipleVmsAreIndependent)

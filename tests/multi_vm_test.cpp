@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Multi-VM host tests: frame repossession after a VM kill, survivor
+ * isolation, and the overcommit survival ladder (balloon sweeps, backoff,
+ * deterministic OOM-kill) through sim::System.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "host/host_kernel.hpp"
+#include "mem/buddy_allocator.hpp"
+#include "sim/experiment.hpp"
+#include "sim/overcommit.hpp"
+#include "sim/system.hpp"
+#include "workload/catalog.hpp"
+
+namespace ptm::sim {
+namespace {
+
+TEST(MultiVmHost, KilledVmFramesMergeBackAndSurvivorsKeepMappings)
+{
+    host::HostKernel host(64 * 1024);
+    std::vector<host::VmInstance *> vms;
+    for (int i = 0; i < 4; ++i)
+        vms.push_back(&host.create_vm());
+
+    // Interleave contiguous 64-gfn runs across the four VMs so each VM's
+    // data frames land in chunks separated by the other VMs' chunks —
+    // the inter-VM fragmentation pattern a churny host produces.
+    for (unsigned round = 0; round < 8; ++round) {
+        for (host::VmInstance *vm : vms) {
+            for (unsigned i = 0; i < 64; ++i) {
+                ASSERT_TRUE(host.handle_fault(*vm, round * 64 + i).ok);
+            }
+        }
+    }
+
+    // Record every survivor mapping before the kill.
+    std::map<std::pair<std::int32_t, std::uint64_t>, std::uint64_t> before;
+    for (unsigned v = 0; v < 4; ++v) {
+        if (v == 1)
+            continue;
+        for (std::uint64_t gfn = 0; gfn < 8 * 64; ++gfn) {
+            auto pte = vms[v]->page_table().lookup(gfn);
+            ASSERT_TRUE(pte.has_value());
+            before[{vms[v]->id(), gfn}] = pte->frame();
+        }
+    }
+
+    std::vector<std::size_t> blocks_before;
+    for (unsigned o = 0; o <= mem::BuddyAllocator::kMaxOrder; ++o)
+        blocks_before.push_back(host.buddy().free_blocks_at_order(o));
+    const std::uint64_t free_before = host.buddy().free_frames_count();
+
+    const std::uint64_t repossessed = host.destroy_vm(*vms[1]);
+    host.buddy().check_invariants();
+
+    // All of the killed VM's frames came back: 512 data frames plus its
+    // page-table nodes.
+    EXPECT_GE(repossessed, 8 * 64u);
+    EXPECT_EQ(host.buddy().free_frames_count(), free_before + repossessed);
+    EXPECT_EQ(host.stats().vms_destroyed.value(), 1u);
+    EXPECT_EQ(host.live_vm_count(), 3u);
+
+    // The freed frames merged: each contiguous 64-frame run must contain
+    // at least one aligned order>=3 block, so high-order free blocks
+    // appear where there were none.
+    std::uint64_t delta_frames = 0;
+    bool merged_high_order = false;
+    for (unsigned o = 0; o <= mem::BuddyAllocator::kMaxOrder; ++o) {
+        std::size_t now = host.buddy().free_blocks_at_order(o);
+        if (now > blocks_before[o]) {
+            delta_frames +=
+                static_cast<std::uint64_t>(now - blocks_before[o]) << o;
+            if (o >= 3)
+                merged_high_order = true;
+        }
+    }
+    EXPECT_GE(delta_frames, repossessed);
+    EXPECT_TRUE(merged_high_order);
+
+    // Survivors are untouched: identical frames, still owned.
+    for (const auto &[key, frame] : before) {
+        const auto &[vm_id, gfn] = key;
+        for (host::VmInstance *vm : vms) {
+            if (vm->id() != vm_id)
+                continue;
+            auto pte = vm->page_table().lookup(gfn);
+            ASSERT_TRUE(pte.has_value());
+            EXPECT_EQ(pte->frame(), frame);
+            EXPECT_EQ(host.memory().info(frame).owner, vm_id);
+        }
+    }
+
+    // The host keeps servicing survivors (and reuses repossessed frames).
+    EXPECT_TRUE(host.handle_fault(*vms[0], 100'000).ok);
+}
+
+struct OomRunSummary {
+    std::uint64_t oom_kills = 0;
+    std::uint64_t reclaim_sweeps = 0;
+    std::uint64_t balloon_pages = 0;
+    std::vector<std::string> statuses;
+    std::vector<std::uint64_t> job_cycles;
+};
+
+OomRunSummary
+run_oom_scenario()
+{
+    PlatformConfig platform;
+    platform.guest_frames = 4096;
+    // Far less than four VMs' combined footprint: the survival ladder
+    // must engage and kill at least one VM.
+    platform.host_frames = 3072;
+
+    System system(platform, 4);
+    for (unsigned k = 1; k < 4; ++k)
+        system.boot_vm();
+    system.set_overcommit(OvercommitPolicy{}
+                              .with_watermarks(64, 128)
+                              .with_balloon_step(64)
+                              .with_backoff(4, 32));
+    for (unsigned k = 0; k < 4; ++k) {
+        workload::WorkloadOptions options;
+        options.scale = 1.0;
+        options.seed = 77 + k;
+        options.total_ops = 50'000;
+        system.add_job(k, workload::make_workload("xalancbmk", options));
+    }
+    system.run_until([]() { return false; });  // until all jobs finish
+
+    OomRunSummary summary;
+    summary.oom_kills = system.overcommit_stats().oom_kills.value();
+    summary.reclaim_sweeps =
+        system.overcommit_stats().reclaim_sweeps.value();
+    summary.balloon_pages =
+        system.overcommit_stats().balloon_pages.value();
+    for (unsigned k = 0; k < system.num_vms(); ++k)
+        summary.statuses.push_back(system.vm_slot(k).status);
+    for (const auto &job : system.jobs())
+        summary.job_cycles.push_back(job->stats().cycles.value());
+    return summary;
+}
+
+TEST(MultiVmSystem, OvercommitSurvivesViaDeterministicOomKill)
+{
+    OomRunSummary run = run_oom_scenario();
+
+    // The run completed (no SimError escaped) and the ladder engaged.
+    EXPECT_GE(run.oom_kills, 1u);
+    EXPECT_GE(run.reclaim_sweeps, 1u);
+    EXPECT_EQ(run.statuses.size(), 4u);
+    // VM 0 is protected by default; some other VM was the victim.
+    EXPECT_EQ(run.statuses[0], "alive");
+    unsigned killed = 0;
+    for (unsigned k = 1; k < 4; ++k)
+        killed += run.statuses[k] == "oom_killed" ? 1 : 0;
+    EXPECT_EQ(killed, run.oom_kills);
+
+    // Bit-identical on repeat: same kills, same victims, same cycles.
+    OomRunSummary again = run_oom_scenario();
+    EXPECT_EQ(again.oom_kills, run.oom_kills);
+    EXPECT_EQ(again.statuses, run.statuses);
+    EXPECT_EQ(again.job_cycles, run.job_cycles);
+    EXPECT_EQ(again.balloon_pages, run.balloon_pages);
+}
+
+TEST(MultiVmSystem, KillVmReturnsCoresForChurnReuse)
+{
+    PlatformConfig platform;
+    platform.guest_frames = 4096;
+    platform.host_frames = 32 * 1024;
+
+    System system(platform, 2);
+    unsigned second = system.boot_vm();
+    workload::WorkloadOptions options;
+    options.scale = 0.05;
+    options.total_ops = 2'000;
+    system.add_job(0, workload::make_workload("stress-ng", options));
+    system.add_job(second,
+                   workload::make_workload("stress-ng", options));
+    EXPECT_FALSE(system.has_free_core());
+
+    system.kill_vm(second, "churn_killed", "test kill");
+    EXPECT_FALSE(system.vm_alive(second));
+    EXPECT_EQ(system.vm_slot(second).status, "churn_killed");
+    EXPECT_GT(system.vm_slot(second).frames_repossessed, 0u);
+    EXPECT_TRUE(system.has_free_core());
+
+    // A freshly booted VM reuses the released core and runs to the end.
+    unsigned third = system.boot_vm();
+    Job &job = system.add_job(
+        third, workload::make_workload("stress-ng", options));
+    system.run_until([]() { return false; });
+    EXPECT_TRUE(job.finished());
+    EXPECT_GT(job.stats().ops.value(), 0u);
+    // The reused core keeps registry paths unique: the new job's stats
+    // live under the new VM's namespace.
+    EXPECT_EQ(job.stat_prefix().rfind("vm2.core", 0), 0u);
+}
+
+TEST(MultiVmScenario, ChurnStormRunsDeterministically)
+{
+    ScenarioConfig config;
+    config.victim = "stress-ng";
+    config.scale = 0.3;
+    config.measure_ops = 30'000;
+    config.corunner_warmup_ops = 0;
+    config.platform.guest_frames = 4096;
+    config.platform.host_frames = 24 * 1024;
+    config.overcommit = OvercommitPolicy{}
+                            .with_watermarks(128, 256)
+                            .with_balloon_step(64)
+                            .with_backoff(4, 64);
+    config.churn = ChurnPlan::storm(/*seed=*/9, /*begin_step=*/500,
+                                    /*end_step=*/20'000, /*boots=*/6,
+                                    /*kills=*/3, /*forks=*/2)
+                       .with_scale(0.1)
+                       .with_guest_frames(2048);
+
+    ScenarioResult a = run_scenario(config);
+    ScenarioResult b = run_scenario(config);
+
+    EXPECT_GT(a.churn_boots, 0u);
+    EXPECT_EQ(a.vms.size(), static_cast<std::size_t>(1 + a.churn_boots));
+    EXPECT_EQ(a.churn_boots, b.churn_boots);
+    EXPECT_EQ(a.churn_kills, b.churn_kills);
+    EXPECT_EQ(a.churn_forks, b.churn_forks);
+    EXPECT_EQ(a.oom_kills, b.oom_kills);
+    EXPECT_EQ(a.victim_cycles, b.victim_cycles);
+    EXPECT_EQ(a.host_reclaim_sweeps, b.host_reclaim_sweeps);
+    ASSERT_EQ(a.vms.size(), b.vms.size());
+    for (std::size_t i = 0; i < a.vms.size(); ++i) {
+        EXPECT_EQ(a.vms[i].status, b.vms[i].status);
+        EXPECT_EQ(a.vms[i].ops, b.vms[i].ops);
+        EXPECT_EQ(a.vms[i].walk_cycles, b.vms[i].walk_cycles);
+        EXPECT_EQ(a.vms[i].backed_pages, b.vms[i].backed_pages);
+    }
+    // Churn-killed VMs carry their degradation record.
+    if (a.churn_kills > 0) {
+        unsigned churn_killed = 0;
+        for (const VmRecord &rec : a.vms)
+            churn_killed += rec.status == "churn_killed" ? 1 : 0;
+        EXPECT_EQ(churn_killed, a.churn_kills);
+    }
+}
+
+}  // namespace
+}  // namespace ptm::sim
