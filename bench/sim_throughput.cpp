@@ -78,7 +78,7 @@ main(int argc, char **argv)
     // The bench measures simulator speed, not a paper figure, so the
     // interleave change is free.
     mixed.platform.slice_ops = 64;
-    mixed.platform.walk_batch = 16;
+    mixed.platform.walk_batch = 32;
     if (smoke) {
         mixed.platform.guest_frames = 16 * 1024;
         mixed.platform.host_frames = 24 * 1024;
@@ -131,8 +131,17 @@ main(int argc, char **argv)
         std::printf("sim_throughput: floor     ops_per_sec=%.0f "
                     "(enforcing >= 80%%: %.0f)\n",
                     floor, 0.8 * floor);
-        check(combined >= 0.8 * floor,
-              "combined ops/sec within 20% of the checked-in floor");
+        if (combined < 0.8 * floor) {
+            // One self-contained line with the numbers: CI logs get cut
+            // down to the FAIL lines, which must carry the diagnosis.
+            std::fprintf(stderr,
+                         "sim_throughput: FAIL: combined throughput "
+                         "%.0f ops/sec is below 80%% of the checked-in "
+                         "floor %.0f (gate %.0f); see %s for the "
+                         "floor's provenance\n",
+                         combined, floor, 0.8 * floor, floor_path);
+            ++failures;
+        }
     }
 
     // Stage breakdown side-run: same scenario at reduced length with the

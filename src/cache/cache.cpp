@@ -1,6 +1,5 @@
 #include "cache/cache.hpp"
 
-#include <algorithm>
 #include <bit>
 
 namespace ptm::cache {
@@ -39,26 +38,31 @@ Cache::Cache(const CacheGeometry &geometry, Rng *rng)
         repl_words_ = 0;
         break;
     }
-    set_stride_ = ways_ + repl_words_;
+    tag_words_ = (ways_ + 1) / 2;
+    set_stride_ = tag_words_ + repl_words_;
 
     slab_.assign(static_cast<std::size_t>(num_sets_) * set_stride_, 0);
-    live_.assign(num_sets_, 0);
     hint_.assign(num_sets_, 0);
+    live_.assign(num_sets_, 0);
     reset_tags();
 }
 
 void
 Cache::reset_tags()
 {
-    // Tags to the empty sentinel, replacement state to zero. Stale
-    // replacement state is never consulted: a set refills through the
-    // empty-way scan, and every install touches its way first.
+    // Tags to the empty sentinel, replacement state and the hint/live
+    // accelerators to zero. Stale replacement state is never consulted:
+    // a set refills through the empty-way scan, and every install
+    // touches its way first.
     for (std::uint64_t set = 0; set < num_sets_; ++set) {
-        std::uint64_t *tags = set_tags(set);
-        for (unsigned w = 0; w < ways_; ++w)
-            tags[w] = kInvalidTag;
+        std::uint32_t *tags = set_tags(set);
+        for (unsigned w = 0; w < 2 * tag_words_; ++w)
+            tags[w] = kInvalidTag;  // including the pad lane of odd ways
+        std::uint64_t *repl = set_repl(set);
         for (unsigned r = 0; r < repl_words_; ++r)
-            tags[ways_ + r] = 0;
+            repl[r] = 0;
+        hint_[set] = 0;
+        live_[set] = 0;
     }
     memo_line_ = ~0ULL;
 }
@@ -67,13 +71,8 @@ bool
 Cache::probe(std::uint64_t line) const
 {
     const std::uint64_t set = line & (num_sets_ - 1);
-    const std::uint64_t tag = line >> set_shift_;
-    const std::uint64_t *tags = set_tags(set);
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (tags[w] == tag)
-            return true;
-    }
-    return false;
+    const std::uint32_t tag = tag_of(line);
+    return simd::find_u32(set_tags(set), ways_, tag) < ways_;
 }
 
 void
@@ -82,12 +81,9 @@ Cache::fill(std::uint64_t line)
     // The install may evict the memoized line, so drop the memo.
     memo_line_ = ~0ULL;
     const std::uint64_t set = line & (num_sets_ - 1);
-    const std::uint64_t tag = line >> set_shift_;
-    const std::uint64_t *tags = set_tags(set);
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (tags[w] == tag)
-            return;
-    }
+    const std::uint32_t tag = tag_of(line);
+    if (simd::find_u32(set_tags(set), ways_, tag) < ways_)
+        return;
     install(set, tag);
 }
 
@@ -96,14 +92,12 @@ Cache::invalidate(std::uint64_t line)
 {
     memo_line_ = ~0ULL;
     const std::uint64_t set = line & (num_sets_ - 1);
-    const std::uint64_t tag = line >> set_shift_;
-    std::uint64_t *tags = set_tags(set);
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (tags[w] == tag) {
-            tags[w] = kInvalidTag;
-            --live_[set];
-            return;
-        }
+    const std::uint32_t tag = tag_of(line);
+    std::uint32_t *tags = set_tags(set);
+    const unsigned w = simd::find_u32(tags, ways_, tag);
+    if (w < ways_) {
+        tags[w] = kInvalidTag;
+        --live_[set];
     }
 }
 
@@ -111,7 +105,6 @@ void
 Cache::flush()
 {
     reset_tags();
-    std::fill(live_.begin(), live_.end(), 0u);
 }
 
 void
@@ -131,8 +124,8 @@ std::uint64_t
 Cache::resident_lines() const
 {
     std::uint64_t n = 0;
-    for (unsigned live : live_)
-        n += live;
+    for (std::uint64_t set = 0; set < num_sets_; ++set)
+        n += live_of(set);
     return n;
 }
 

@@ -7,11 +7,23 @@
  * set-major: each set's tags are immediately followed by its replacement
  * state (LRU stamps or tree-PLRU direction bits), so one lookup touches
  * one short run of host cache lines — index arithmetic only, no per-set
- * objects, no pointers to chase. Replacement is dispatched with a single
- * branch on ReplacementKind instead of a virtual call (the virtual
- * policies in replacement.hpp remain as the reference model the tests
- * compare against). Write-allocate, no dirty tracking (latency is
- * symmetric for the metrics the paper reports).
+ * objects, no pointers to chase. The MRU-hint way and occupancy count
+ * live in dense per-set byte arrays that stay host-L1 resident.
+ *
+ * Tags are stored as 32 bits: a tag
+ * is line >> log2(sets) and modeled physical memory is bounded far
+ * below the 2^(38+log2 sets) bytes a 32-bit tag can name (a panic
+ * guards the bound), so narrowing is exact — and it both halves the
+ * bytes a scan touches (an 8-way set's tags are 32 contiguous bytes)
+ * and gives the scan a native single-instruction SIMD compare on
+ * baseline x86-64. Tag scans go through the SIMD probes of
+ * common/simd.hpp (SSE2/NEON with a scalar fallback selected at
+ * compile time); outcomes are identical to the scalar loop by the
+ * probe contract. Replacement is dispatched with a single branch on
+ * ReplacementKind instead of a virtual call (the virtual policies in
+ * replacement.hpp remain as the reference model the tests compare
+ * against). Write-allocate, no dirty tracking (latency is symmetric for
+ * the metrics the paper reports).
  */
 #pragma once
 
@@ -23,6 +35,7 @@
 #include "cache/access.hpp"
 #include "cache/replacement.hpp"
 #include "common/log.hpp"
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "obs/stat_registry.hpp"
@@ -73,10 +86,11 @@ struct CacheStats {
  */
 class Cache {
   public:
-    /// Tag stored in empty ways. Unreachable by real lines: a tag is
-    /// line >> set_shift_ and lines are physical addresses >> 6, so a
-    /// real all-ones tag would need a ~2^70-byte address space.
-    static constexpr std::uint64_t kInvalidTag = ~0ULL;
+    /// Tag stored in empty ways. Unreachable by real lines: tag_of()
+    /// panics on any line whose tag would not fit below it, and every
+    /// simulated physical space is orders of magnitude under that bound
+    /// (2^38 bytes even for a single-set cache).
+    static constexpr std::uint32_t kInvalidTag = ~0U;
 
     /// @param rng required only for random replacement; may be null.
     Cache(const CacheGeometry &geometry, Rng *rng = nullptr);
@@ -100,28 +114,27 @@ class Cache {
             return true;
         }
         const std::uint64_t set = line & (num_sets_ - 1);
-        const std::uint64_t tag = line >> set_shift_;
-        const std::uint64_t *tags = set_tags(set);
+        const std::uint32_t tag = tag_of(line);
+        std::uint32_t *tags = set_tags(set);
         // MRU shortcut: a tag lives in at most one way of its set, so
         // probing the last-hit way first cannot change the outcome —
         // and temporal locality makes it the common case.
-        const unsigned hint = hint_[set];
+        const unsigned hint = hint_of(set);
         if (tags[hint] == tag) {
             touch(set, hint);
             stats_.hits[static_cast<unsigned>(kind)].inc();
             memo_line_ = line;
             return true;
         }
-        for (unsigned w = 0; w < ways_; ++w) {
-            // Empty ways hold kInvalidTag, so the tag compare alone
-            // decides: no separate valid-bit load on the hot loop.
-            if (tags[w] == tag) {
-                hint_[set] = static_cast<std::uint8_t>(w);
-                touch(set, w);
-                stats_.hits[static_cast<unsigned>(kind)].inc();
-                memo_line_ = line;
-                return true;
-            }
+        // Empty ways hold kInvalidTag, so the tag compare alone decides:
+        // no separate valid-bit load on the hot scan.
+        const unsigned w = simd::find_u32_hot(tags, ways_, tag);
+        if (w < ways_) {
+            set_hint(set, w);
+            touch(set, w);
+            stats_.hits[static_cast<unsigned>(kind)].inc();
+            memo_line_ = line;
+            return true;
         }
         stats_.misses[static_cast<unsigned>(kind)].inc();
         install(set, tag);
@@ -157,20 +170,52 @@ class Cache {
     std::uint64_t resident_lines() const;
 
   private:
-    std::uint64_t *set_tags(std::uint64_t set)
+    /// Start of the set's slab run (u64 words).
+    std::uint64_t *set_base(std::uint64_t set)
     {
         return &slab_[static_cast<std::size_t>(set) * set_stride_];
     }
-    const std::uint64_t *set_tags(std::uint64_t set) const
+    const std::uint64_t *set_base(std::uint64_t set) const
     {
         return &slab_[static_cast<std::size_t>(set) * set_stride_];
+    }
+    /// The set's ways_ 32-bit tags, packed at the head of its run
+    /// (tag_words_ u64 words viewed as u32 lanes).
+    std::uint32_t *set_tags(std::uint64_t set)
+    {
+        return reinterpret_cast<std::uint32_t *>(set_base(set));
+    }
+    const std::uint32_t *set_tags(std::uint64_t set) const
+    {
+        return reinterpret_cast<const std::uint32_t *>(set_base(set));
     }
     /// Replacement state of @p set (stamps or PLRU bits), right after
     /// its tags.
     std::uint64_t *set_repl(std::uint64_t set)
     {
-        return set_tags(set) + ways_;
+        return set_base(set) + tag_words_;
     }
+    const std::uint64_t *set_repl(std::uint64_t set) const
+    {
+        return set_base(set) + tag_words_;
+    }
+
+    /// Narrow a line's tag to the stored 32 bits, guarding exactness.
+    std::uint32_t tag_of(std::uint64_t line) const
+    {
+        const std::uint64_t tag = line >> set_shift_;
+        if (tag >= kInvalidTag)
+            ptm_panic("%s: line %llu overflows the 32-bit tag store",
+                      geometry_.name.c_str(),
+                      static_cast<unsigned long long>(line));
+        return static_cast<std::uint32_t>(tag);
+    }
+    unsigned hint_of(std::uint64_t set) const { return hint_[set]; }
+    void set_hint(std::uint64_t set, unsigned way)
+    {
+        hint_[set] = static_cast<std::uint8_t>(way);
+    }
+    unsigned live_of(std::uint64_t set) const { return live_[set]; }
 
     /// Set every way of every set to kInvalidTag and clear replacement
     /// state (construction / flush).
@@ -210,16 +255,10 @@ class Cache {
     victim(std::uint64_t set)
     {
         switch (geometry_.replacement) {
-          case ReplacementKind::Lru: {
-            // True LRU: smallest stamp wins, lowest way on ties.
-            const std::uint64_t *stamps = set_repl(set);
-            unsigned best = 0;
-            for (unsigned w = 1; w < ways_; ++w) {
-                if (stamps[w] < stamps[best])
-                    best = w;
-            }
-            return best;
-          }
+          case ReplacementKind::Lru:
+            // True LRU: smallest stamp wins, lowest way on ties — the
+            // min_index_u64 contract.
+            return simd::min_index_u64(set_repl(set), ways_);
           case ReplacementKind::TreePlru: {
             // Follow the pointers; clamp to a valid way for
             // non-power-of-two configurations.
@@ -243,17 +282,14 @@ class Cache {
     }
 
     void
-    install(std::uint64_t set, std::uint64_t tag)
+    install(std::uint64_t set, std::uint32_t tag)
     {
-        // Prefer an empty way; otherwise evict the policy's victim.
-        // Sets fill once and stay full, so track occupancy to skip the
-        // empty-way scan in steady state.
+        // Prefer the first empty way; otherwise evict the policy's
+        // victim. Sets fill once and stay full, so the occupancy count
+        // skips the empty-way scan in steady state.
         unsigned w;
         if (live_[set] < ways_) {
-            const std::uint64_t *tags = set_tags(set);
-            w = 0;
-            while (tags[w] != kInvalidTag)
-                ++w;
+            w = simd::find_u32(set_tags(set), ways_, kInvalidTag);
             ++live_[set];
         } else {
             w = victim(set);
@@ -267,18 +303,25 @@ class Cache {
     std::uint64_t num_sets_;
     unsigned set_shift_;
     unsigned ways_;
+    /// u64 words holding the set's ways_ packed u32 tags: ceil(ways/2).
+    unsigned tag_words_;
     /// u64 words of replacement state per set: ways (LRU stamps),
     /// plru_leaves_ (tree bits), or 0 (random).
     unsigned repl_words_;
-    unsigned set_stride_;  ///< ways_ + repl_words_
+    unsigned set_stride_;  ///< tag_words_ + repl_words_
     unsigned plru_leaves_ = 0;  ///< ways rounded up to a power of two
     std::uint64_t clock_ = 0;
     Rng *rng_;
     std::vector<std::uint64_t> slab_;
-    std::vector<unsigned> live_;  ///< occupied ways per set
-    /// Last-hit/installed way per set (pure lookup accelerator; never
-    /// affects replacement decisions or metrics).
+    /// Last-hit way per set (MRU shortcut) and occupied-way count per
+    /// set. Deliberately dense side arrays rather than words inside the
+    /// slab: at one byte / two bytes per set they stay resident in the
+    /// host's L1 across the whole simulation, while a per-set metadata
+    /// word would sit on a cold slab line of its own. Both are pure
+    /// lookup accelerators — they never affect replacement decisions or
+    /// metrics.
     std::vector<std::uint8_t> hint_;
+    std::vector<std::uint16_t> live_;
     /// Line of the most recent access (resident and MRU by construction);
     /// ~0 when no such guarantee holds. Cleared by fill/invalidate/flush
     /// because they can change residency behind the memo's back.

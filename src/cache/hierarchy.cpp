@@ -10,6 +10,11 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config,
 {
     if (num_cores == 0)
         ptm_fatal("hierarchy needs at least one core");
+    latency_by_[static_cast<unsigned>(ServedBy::L1)] = config_.l1_latency;
+    latency_by_[static_cast<unsigned>(ServedBy::L2)] = config_.l2_latency;
+    latency_by_[static_cast<unsigned>(ServedBy::Llc)] = config_.llc_latency;
+    latency_by_[static_cast<unsigned>(ServedBy::Memory)] =
+        config_.memory_latency;
     l1_.reserve(num_cores);
     l2_.reserve(num_cores);
     for (unsigned c = 0; c < num_cores; ++c) {

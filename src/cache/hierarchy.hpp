@@ -93,7 +93,7 @@ class MemoryHierarchy {
             served = ServedBy::Memory;
         }
 
-        Cycles latency = latency_of(served);
+        Cycles latency = latency_by_[static_cast<unsigned>(served)];
         unsigned k = static_cast<unsigned>(kind);
         stats_.served[k][static_cast<unsigned>(served)].inc();
         stats_.accesses[k].inc();
@@ -141,6 +141,9 @@ class MemoryHierarchy {
   private:
     HierarchyConfig config_;
     unsigned num_cores_;
+    /// latency_of() as a flat table, indexed by ServedBy — the hot
+    /// access path reads this instead of branching on the level.
+    Cycles latency_by_[kServedByCount] = {};
     std::vector<Cache> l1_;
     std::vector<Cache> l2_;
     Cache llc_;

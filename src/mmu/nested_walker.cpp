@@ -40,12 +40,15 @@ NestedWalker::host_translate(std::uint64_t gfn, TranslationResult &result)
     if (host_.radix != nullptr)
         return host_walk_radix(gfn, result);
     for (unsigned attempt = 0; attempt < kMaxAttempts; ++attempt) {
-        pt::WalkSteps &steps = host_steps_;
-        pt::WalkResult walk = host_.page_table->walk(gfn, steps);
-        unsigned n = walk.steps;
-        for (unsigned i = 0; i < n; ++i) {
+        // Resumable descent: pull one step at a time through the step
+        // cursor — same touch order and accounting as walking first and
+        // iterating a buffer afterwards, without the buffer round-trip.
+        pt::StepCursor &cur = host_cursor_;
+        host_.page_table->walk_begin(gfn, cur);
+        pt::WalkStep step;
+        while (host_.page_table->walk_next(cur, step)) {
             cache::AccessResult access = hierarchy_->access(
-                core_, steps[i].entry_paddr, cache::AccessKind::HostPt);
+                core_, step.entry_paddr, cache::AccessKind::HostPt);
             result.walk_cycles += access.latency;
             result.cycles += access.latency;
             stats_.walk_cycles.inc(access.latency);
@@ -53,11 +56,11 @@ NestedWalker::host_translate(std::uint64_t gfn, TranslationResult &result)
             stats_.host_pt_accesses.inc();
             if (access.served_by == cache::ServedBy::Memory) {
                 stats_.host_pt_mem_accesses.inc();
-                stats_.host_pt_level_mem.record(i);
+                stats_.host_pt_level_mem.record(step.level);
             }
         }
-        if (walk.complete) {
-            std::uint64_t hfn = steps[n - 1].pte.frame();
+        if (cur.complete) {
+            std::uint64_t hfn = step.pte.frame();
             nested_tlb_.insert(gfn, hfn);
             return hfn;
         }
@@ -125,29 +128,33 @@ NestedWalker::walk_guest_once(GuestContext &guest, std::uint64_t gvpn,
     if (guest.radix != nullptr)
         return walk_guest_radix(guest, gvpn, result);
 
-    pt::WalkSteps &steps = guest_steps_;
-    pt::WalkResult walk = guest.page_table->walk(gvpn, steps);
-    unsigned n = walk.steps;
+    // Resumable descent through the step cursor: one level at a time,
+    // so each level closes its own pipeline round (note_round) the
+    // moment its accesses are charged.
+    pt::TranslationTable &table = *guest.page_table;
+    pt::StepCursor &cur = guest_cursor_;
+    table.walk_begin(gvpn, cur);
 
     // The PWC can let the walker skip upper guest levels whose node it
     // already knows; it caches node frames, so validate the hit against
     // the current walk (a stale hit after unmap simply misses here).
     // Non-radix tables have no stable level->node contract, so the PWC
-    // is bypassed for them (guest.use_pwc).
-    unsigned start_level = 0;
+    // is bypassed for them (guest.use_pwc) — walk_peek/walk_skip only
+    // ever run against the buffered cursor of a radix-contract table.
     if (guest.use_pwc) {
         if (std::optional<tlb::PageWalkCache::Hit> hit =
                 pwc_.lookup(gvpn)) {
-            if (hit->resume_level < n &&
-                steps[hit->resume_level].node_frame == hit->node_frame) {
-                start_level = hit->resume_level;
+            const pt::WalkStep *resume =
+                table.walk_peek(cur, hit->resume_level);
+            if (resume != nullptr &&
+                resume->node_frame == hit->node_frame) {
+                table.walk_skip(cur, hit->resume_level);
             }
         }
     }
 
-    for (unsigned i = start_level; i < n; ++i) {
-        const pt::WalkStep &step = steps[i];
-
+    pt::WalkStep step;
+    while (table.walk_next(cur, step)) {
         // The guest-PT node lives at a guest-physical frame; the walker
         // needs its host-physical address first (the "2D" part).
         std::uint64_t node_hfn = host_translate(step.node_frame, result);
@@ -163,8 +170,11 @@ NestedWalker::walk_guest_once(GuestContext &guest, std::uint64_t gvpn,
         stats_.guest_pt_accesses.inc();
         if (access.served_by == cache::ServedBy::Memory) {
             stats_.guest_pt_mem_accesses.inc();
-            stats_.guest_pt_level_mem.record(i);
+            stats_.guest_pt_level_mem.record(step.level);
         }
+
+        // One guest level (nested host sub-walk included) = one round.
+        note_round(result);
 
         if (!step.pte.present()) {
             // Guest page fault: the guest kernel allocates and maps.
@@ -180,16 +190,16 @@ NestedWalker::walk_guest_once(GuestContext &guest, std::uint64_t gvpn,
             return std::nullopt;  // retry the walk against the new PT state
         }
 
-        if (guest.use_pwc && i + 1 < n)
-            pwc_.insert(gvpn, i, step.pte.frame());
+        if (guest.use_pwc && !cur.done)
+            pwc_.insert(gvpn, step.level, step.pte.frame());
     }
 
-    if (!walk.complete) {
+    if (!cur.complete) {
         // An incomplete walk ends on a non-present entry, which is
         // handled above; reaching here without completion cannot happen.
         ptm_panic("guest walk stopped early without fault");
     }
-    return steps[n - 1].pte.frame();
+    return step.pte.frame();
 }
 
 std::optional<std::uint64_t>
@@ -240,6 +250,9 @@ NestedWalker::walk_guest_radix(GuestContext &guest, std::uint64_t gvpn,
             stats_.guest_pt_level_mem.record(cur.level());
         }
 
+        // One guest level (nested host sub-walk included) = one round.
+        note_round(result);
+
         pt::Pte pte = cur.pte();
         if (!pte.present()) {
             // Guest page fault: the guest kernel allocates and maps.
@@ -274,9 +287,11 @@ NestedWalker::walk_to_completion(GuestContext &guest, std::uint64_t gvpn,
         if (!data_gfn)
             continue;  // faulted; PT changed; retry
 
-        // Final host walk: translate the data page itself.
+        // Final host walk: translate the data page itself — the last
+        // pipeline round of the walk.
         result.gfn = *data_gfn;
         result.hfn = host_translate(*data_gfn, result);
+        note_round(result);
         tlb_.insert(gvpn, result.hfn);
         return;
     }
@@ -325,10 +340,15 @@ NestedWalker::translate_l1_missed(GuestContext &guest, Addr gva)
         return result;
     }
 
-    // Issue the walk into the register file; its histogram entry is
-    // recorded when end_batch() retires the batch in program order.
-    walk_to_completion(guest, gvpn, result);
+    // Issue the walk into the register file before it starts, so the
+    // per-level pipeline rounds stream into the slot as the walk
+    // advances; its histogram entry is recorded when end_batch()
+    // retires the batch in program order.
     WalkRegisterFile::Slot &slot = wrf_.allocate();
+    active_slot_ = &slot;
+    round_mark_ = 0;
+    walk_to_completion(guest, gvpn, result);
+    active_slot_ = nullptr;
     slot.walk_cycles = result.walk_cycles;
     slot.fault_cycles = result.cycles - result.walk_cycles;
     return result;

@@ -256,6 +256,24 @@ class NestedWalker {
     void walk_to_completion(GuestContext &guest, std::uint64_t gvpn,
                             TranslationResult &result);
 
+    /**
+     * Close the current pipeline round of the active walk: charge the
+     * hardware walk cycles accumulated since the previous boundary to
+     * the next round of the walk's register-file slot. A no-op on the
+     * serial path (no active slot). Rounds are per guest PT level (each
+     * including its nested host sub-walk) plus one for the final host
+     * walk of the data page, and keep accumulating across fault
+     * retries; only the overlapped-timing retire reads them.
+     */
+    void
+    note_round(const TranslationResult &result)
+    {
+        if (active_slot_ == nullptr)
+            return;
+        active_slot_->add_round(result.walk_cycles - round_mark_);
+        round_mark_ = result.walk_cycles;
+    }
+
     unsigned core_;
     cache::MemoryHierarchy *hierarchy_;
     HostContext host_;
@@ -264,12 +282,17 @@ class NestedWalker {
     tlb::NestedTlb nested_tlb_;
     WalkRegisterFile wrf_;
     WalkerStats stats_;
-    // Reusable walk buffers: translate() is called once per simulated op,
-    // so the step arrays live here instead of being re-created per walk
-    // (guest and host walks overlap — host_translate runs mid guest
-    // walk — hence two buffers).
-    pt::WalkSteps guest_steps_;
-    pt::WalkSteps host_steps_;
+    // Streaming round state of the in-flight batched walk: the slot is
+    // allocated before the walk starts so per-level rounds can be
+    // recorded as the walk advances; null on the serial path.
+    WalkRegisterFile::Slot *active_slot_ = nullptr;
+    Cycles round_mark_ = 0;
+    // Reusable step cursors: translate() is called once per simulated
+    // op, so the cursor blobs live here instead of being re-created per
+    // walk (guest and host walks overlap — host_translate runs mid
+    // guest walk — hence two cursors).
+    pt::StepCursor guest_cursor_;
+    pt::StepCursor host_cursor_;
 };
 
 }  // namespace ptm::mmu

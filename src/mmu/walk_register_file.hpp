@@ -7,16 +7,24 @@
  * The simulator's cache model is functional — every access permutes LRU
  * state — so the only issue schedule that preserves end-of-run counter
  * sums is program order. Walks are therefore *issued* in program order
- * and the register file captures their state for the two things that can
- * be deferred to retire without changing any counter:
+ * and the register file captures their state for the things that can be
+ * deferred to retire without changing any counter:
  *
  *  - per-walk latency histograms are recorded at retire, slot order ==
  *    program order, so batched runs stay bit-identical to serial;
  *  - the opt-in overlapped-timing mode (PlatformConfig::
  *    overlapped_walk_timing) re-charges the batch's hardware walk cycles
- *    as the critical path (max over slots) instead of the serial sum,
- *    modelling walk-level MLP. Faults are kernel software and stay
- *    serialized. Only cycle attribution changes; counters never do.
+ *    as a *per-level pipeline*: the walker splits every walk into rounds
+ *    (one per guest PT level — each including the nested host sub-walk
+ *    for that level's node — plus one for the final host walk of the
+ *    data page), and retire charges the batch as if all in-flight walks
+ *    advanced one round per pipeline beat: sum over rounds of the
+ *    slowest slot in that round. This models the ChampSim-style MMU that
+ *    steps every outstanding walk one PT level at a time, and is
+ *    strictly tighter than the old whole-walk critical path (max of
+ *    sums): sum-of-maxes >= max-of-sums, so the overlap credit can only
+ *    shrink. Faults are kernel software and stay serialized (excluded
+ *    from rounds). Only cycle attribution changes; counters never do.
  */
 #pragma once
 
@@ -32,9 +40,13 @@ namespace ptm::mmu {
 struct WalkRegisterFileStats {
     Counter batches;              ///< dispatch batches retired
     Counter batched_ops;          ///< ops dispatched through batches
-    Counter overlap_cycles_saved; ///< sum(walk) - max(walk), overlap mode
+    Counter overlap_cycles_saved; ///< sum(walk) - pipelined, overlap mode
     /// Walks in flight per retired batch (the MLP actually available).
-    Histogram occupancy{BucketPolicy::Linear, 17};
+    /// Linear buckets cover 0..kCapacity.
+    Histogram occupancy{BucketPolicy::Linear, 33};
+    /// Pipeline rounds per retired walk (guest levels + final host walk,
+    /// accumulated across fault retries).
+    Histogram walk_rounds{BucketPolicy::Linear, 17};
 };
 
 /**
@@ -45,12 +57,33 @@ struct WalkRegisterFileStats {
 class WalkRegisterFile {
   public:
     /// Upper bound on PlatformConfig::walk_batch.
-    static constexpr unsigned kCapacity = 16;
+    static constexpr unsigned kCapacity = 32;
+
+    /// Per-walk pipeline rounds retained for the critical-path retire.
+    /// A plain 4-level guest walk is 5 rounds (4 levels + final host
+    /// walk); fault retries append more, and anything beyond the bound
+    /// merges into the last round (the charge stays exact in total,
+    /// only its round attribution saturates).
+    static constexpr unsigned kMaxRounds = 16;
 
     /// One in-flight (issued, not yet retired) walk.
     struct Slot {
         Cycles walk_cycles = 0;   ///< hardware walk portion
         Cycles fault_cycles = 0;  ///< kernel fault portion (serialized)
+        /// Hardware walk cycles per pipeline round, in walk order. The
+        /// walker streams these in as the walk advances; their sum
+        /// equals walk_cycles by construction.
+        Cycles round_cycles[kMaxRounds] = {};
+        unsigned rounds = 0;
+
+        void
+        add_round(Cycles cycles)
+        {
+            if (rounds < kMaxRounds)
+                round_cycles[rounds++] = cycles;
+            else
+                round_cycles[kMaxRounds - 1] += cycles;
+        }
     };
 
     void
@@ -59,20 +92,26 @@ class WalkRegisterFile {
         count_ = 0;
     }
 
-    /// Record one issued walk; returns its slot for the walker to fill.
+    /// Record one issued walk; returns its (reset) slot for the walker
+    /// to fill as the walk advances.
     Slot &
     allocate()
     {
-        return slots_[count_++];
+        Slot &slot = slots_[count_++];
+        slot.walk_cycles = 0;
+        slot.fault_cycles = 0;
+        slot.rounds = 0;  // stale round_cycles beyond rounds are never read
+        return slot;
     }
 
     unsigned in_flight() const { return count_; }
 
     /**
      * Retire the open batch of @p ops dispatched ops in program order:
-     * record each walk's latency histogram entry and the occupancy
-     * histogram, and compute the overlap credit (sum - max of the slots'
-     * hardware walk cycles).
+     * record each walk's latency histogram entry, the occupancy and
+     * rounds histograms, and compute the overlap credit — serial sum
+     * minus the per-round critical path (each round charged as the
+     * slowest slot still in flight at that round).
      * @return cycles saved vs serial issue — 0 unless >= 2 walks are in
      *         flight; the caller subtracts it from the batch charge only
      *         in overlapped-timing mode.
@@ -85,17 +124,32 @@ class WalkRegisterFile {
         stats_.occupancy.record(count_);
         if (count_ == 0)
             return 0;
-        Cycles sum = 0;
-        Cycles max = 0;
+        Cycles serial = 0;
+        unsigned max_rounds = 0;
         for (unsigned i = 0; i < count_; ++i) {
             const Slot &slot = slots_[i];
             walk_cycles_hist.record(slot.walk_cycles);
-            sum += slot.walk_cycles;
-            if (slot.walk_cycles > max)
-                max = slot.walk_cycles;
+            stats_.walk_rounds.record(slot.rounds);
+            serial += slot.walk_cycles;
+            if (slot.rounds > max_rounds)
+                max_rounds = slot.rounds;
+        }
+        // Pipelined charge: every beat advances all in-flight walks one
+        // round, so beat r costs the slowest round r among the slots.
+        Cycles pipelined = 0;
+        for (unsigned r = 0; r < max_rounds; ++r) {
+            Cycles slowest = 0;
+            for (unsigned i = 0; i < count_; ++i) {
+                const Slot &slot = slots_[i];
+                if (r < slot.rounds && slot.round_cycles[r] > slowest)
+                    slowest = slot.round_cycles[r];
+            }
+            pipelined += slowest;
         }
         count_ = 0;
-        Cycles saved = sum - max;
+        // Round sums equal walk_cycles by construction, so pipelined is
+        // bounded by [max slot, serial] and the credit is never negative.
+        Cycles saved = serial > pipelined ? serial - pipelined : 0;
         stats_.overlap_cycles_saved.inc(saved);
         return saved;
     }
@@ -114,6 +168,7 @@ class WalkRegisterFile {
         registry.counter(w + ".overlap_cycles_saved",
                          &stats_.overlap_cycles_saved, scope);
         registry.histogram(w + ".occupancy", &stats_.occupancy, scope);
+        registry.histogram(w + ".walk_rounds", &stats_.walk_rounds, scope);
     }
 
     void reset_stats() { stats_ = WalkRegisterFileStats{}; }

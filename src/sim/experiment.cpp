@@ -71,6 +71,15 @@ run_scenario(const ScenarioConfig &config)
                   config.vms, config.overcommit.armed() ? "armed" : "off",
                   config.churn.armed() ? "armed" : "off");
     }
+    if (config.replay_fast_forward &&
+        (config.trace_replay.empty() || config.measure_init)) {
+        ptm_throw("replay_fast_forward requires trace_replay and "
+                  "measure_init=false: the init phase must come from a "
+                  "recorded stream and be excluded from measurement "
+                  "(trace_replay %s, measure_init %s)",
+                  config.trace_replay.empty() ? "unset" : "set",
+                  config.measure_init ? "true" : "false");
+    }
 
     // Every job needs a core for its whole life; churn boots/forks each
     // add at most one, so size the hierarchy for the worst case.
@@ -199,6 +208,12 @@ run_scenario(const ScenarioConfig &config)
             result.peak_unused_reservation_fraction = fraction;
     };
 
+    // Fast-forward mode: the warmup and init phases below run
+    // functionally (mapping state only); the detailed model takes over
+    // at the init-end handover before Phase B.
+    if (config.replay_fast_forward)
+        system.set_functional_mode(true);
+
     // Phase 0: co-runners reach steady state before the victim starts.
     if (config.corunner_warmup_ops > 0 && !config.corunners.empty()) {
         victim.set_paused(true);
@@ -239,6 +254,16 @@ run_scenario(const ScenarioConfig &config)
     }
 
     // Phase B: measure.
+    if (config.replay_fast_forward) {
+        // Handover: leave functional mode and flush the (empty) micro-
+        // architectural state, so the measured phase runs the detailed
+        // model from exactly the cold state a cold_measurement run
+        // measures from.
+        system.set_functional_mode(false);
+        system.flush_microarch();
+    } else if (config.cold_measurement) {
+        system.flush_microarch();
+    }
     if (!config.measure_init)
         system.reset_measurement();
     std::uint64_t remaining = config.measure_ops;

@@ -272,6 +272,27 @@ class System {
     /// Execute exactly one operation of @p job (test / tracing hook).
     void step(Job &job);
 
+    // ---- functional fast-forward (replay init phases) ---------------
+    //
+    // In functional mode step() applies each operation's *mapping-state*
+    // effects only: COW breaks, guest page faults, and host lazy backing
+    // run through the same kernel paths in the same order as a detailed
+    // run, but no TLB, cache, or cycle state is touched. The scenario
+    // runner uses it to fast-forward a .ptt replay through its recorded
+    // warmup/init phases and drop into the detailed model at the
+    // init-end marker (ScenarioConfig::replay_fast_forward); see
+    // step_functional() for why the resulting mapping state is
+    // bit-identical to a detailed run's.
+
+    /// Enter/leave functional mode (affects step() and run_until()).
+    void set_functional_mode(bool on) { functional_mode_ = on; }
+    bool functional_mode() const { return functional_mode_; }
+
+    /// Flush every core's translation caches and the whole cache
+    /// hierarchy: the cold-start state both a fast-forwarded and a
+    /// cold_measurement run measure from.
+    void flush_microarch();
+
     /**
      * Execute up to @p max_ops operations of @p job as one dispatch
      * batch through the walk register file: fetch a batch from the
@@ -309,7 +330,7 @@ class System {
     {
         const bool batched =
             (batch_depth_ > 1 || config_.stage_timing) &&
-            trace_ == nullptr;
+            trace_ == nullptr && !functional_mode_;
         while (!stop()) {
             bool any_alive = false;
             for (auto &job : jobs_) {
@@ -455,6 +476,12 @@ class System {
     template <bool Timed>
     unsigned step_batch_impl(Job &job, unsigned max_ops);
 
+    /// One functional-mode operation: mapping-state effects only.
+    void step_functional(Job &job);
+    /// Make guest frame @p gfn host-backed, taking host faults through
+    /// the slot's handler exactly as the walker would.
+    void ensure_backed(VmSlot &slot, std::uint64_t gfn);
+
     // FaultHook trampolines (bound once per VM slot / per job; see
     // mmu::FaultHook).
     static mmu::FaultOutcome host_fault_thunk(void *ctx,
@@ -474,6 +501,7 @@ class System {
     FaultInjector *injector_ = nullptr;    ///< normally unarmed
     /// min(config.walk_batch, register-file capacity), at least 1.
     unsigned batch_depth_ = 1;
+    bool functional_mode_ = false;
     StageTimes stage_times_;
     /// Never registered: survives reset_measurement() as the denominator
     /// of the simulator-throughput metric.

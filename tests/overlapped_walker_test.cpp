@@ -2,11 +2,13 @@
  * @file
  * Batched-dispatch identity tests: the walk-register-file batch depth is
  * a pure simulator-performance knob. Running the same scenario at depths
- * {1, 2, 8} must produce bit-identical simulated results — every metric,
- * every registered counter and histogram — because batches never cross
- * slice boundaries and nothing observes state between the ops of one
- * slice. Only the ".wrf." occupancy stats may differ: they describe the
- * batching machinery itself.
+ * {1, 2, 8, 32} must produce bit-identical simulated results — every
+ * metric, every registered counter and histogram — because batches never
+ * cross slice boundaries and nothing observes state between the ops of
+ * one slice. Only the ".wrf." occupancy stats may differ: they describe
+ * the batching machinery itself. The matrix covers both translation
+ * tables (radix descends via cursors, hashed streams its probe sequence
+ * natively) and armed fault plans at every depth.
  */
 #include <gtest/gtest.h>
 
@@ -18,7 +20,7 @@
 namespace ptm::sim {
 namespace {
 
-constexpr unsigned kDepths[] = {1, 2, 8};
+constexpr unsigned kDepths[] = {1, 2, 8, 32};
 
 ScenarioConfig
 small_config(const std::string &victim, std::uint64_t seed)
@@ -32,10 +34,10 @@ small_config(const std::string &victim, std::uint64_t seed)
                                 .with_seed(seed);
     config.platform.guest_frames = 16 * 1024;
     config.platform.host_frames = 24 * 1024;
-    // Large enough that depth 8 actually forms 8-op batches (the
+    // Large enough that depth 32 actually forms 32-op batches (the
     // effective depth is min(walk_batch, remaining slice); the default
     // slice of 2 would cap every depth at 2).
-    config.platform.slice_ops = 16;
+    config.platform.slice_ops = 32;
     return config;
 }
 
@@ -118,6 +120,34 @@ TEST(OverlappedWalker, IdentityHoldsUnderPtemagnet)
     ScenarioConfig config = small_config("pagerank", 7).with_ptemagnet();
     ScenarioResult serial = run_at_depth(config, 1);
     expect_identical(serial, run_at_depth(config, 8), 8);
+}
+
+TEST(OverlappedWalker, IdentityHoldsForHashedTables)
+{
+    // The hashed table's native step cursor must reproduce its buffered
+    // walk() bit for bit at every depth — probe sequences, probe-bound
+    // faults, and the probes counter included.
+    ScenarioConfig config = small_config("pagerank", 7).with_table("hashed");
+    ScenarioResult serial = run_at_depth(config, 1);
+    for (unsigned depth : kDepths) {
+        if (depth == 1)
+            continue;
+        expect_identical(serial, run_at_depth(config, depth), depth);
+    }
+}
+
+TEST(OverlappedWalker, IdentityHoldsForHashedTablesWithFaultPlan)
+{
+    ScenarioConfig config = small_config("pagerank", 7)
+                                .with_table("hashed")
+                                .with_fault_plan(
+                                    FaultPlan{}.deny_guest(3, 1'000)
+                                        .periodic_pressure(2'000));
+    ScenarioResult serial = run_at_depth(config, 1);
+    ScenarioResult batched = run_at_depth(config, 32);
+    expect_identical(serial, batched, 32);
+    EXPECT_GT(batched.injected_denials + batched.pressure_episodes, 0u)
+        << "plan never fired; the test exercises nothing";
 }
 
 TEST(OverlappedWalker, IdentityHoldsWithFaultPlanArmed)
