@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "sim/suite.hpp"
 
 namespace {
@@ -78,7 +79,12 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--victim") {
-            config.with_victim(next());
+            try {
+                config.with_workload(next());  // fail fast on unknown names
+            } catch (const ptm::SimError &e) {
+                std::fprintf(stderr, "fatal: %s\n", e.what());
+                return 1;
+            }
         } else if (arg == "--co") {
             config.corunners.push_back(parse_corunner(next()));
             co_given = true;
@@ -117,7 +123,12 @@ main(int argc, char **argv)
     ExperimentSuite suite("run_experiment");
     suite.add(config.victim, config);
     SuiteResult result = suite.run(options);
-    const PairedResult &pair = result.at(config.victim).paired;
+    const EntryResult &entry = result.at(config.victim);
+    if (entry.failed()) {
+        std::fprintf(stderr, "fatal: %s\n", entry.error.c_str());
+        return 1;
+    }
+    const PairedResult &pair = entry.paired;
 
     ptm::MetricSet::print_change_table(pair.baseline.metrics,
                                   pair.ptemagnet.metrics,

@@ -1,0 +1,47 @@
+#include "obs/dirty_ring.hpp"
+
+#include "obs/stat_registry.hpp"
+
+namespace ptm::obs {
+
+void
+DirtyRingStats::register_stats(StatRegistry &registry,
+                               const std::string &prefix)
+{
+    registry.counter(prefix + ".logged", &logged);
+    registry.counter(prefix + ".harvests", &harvests);
+    registry.counter(prefix + ".epochs", &epochs);
+}
+
+DirtyRing::DirtyRing(std::size_t ring_entries, std::uint64_t epoch_ops,
+                     std::uint64_t now_steps)
+    : ring_entries_(ring_entries == 0 ? 1 : ring_entries),
+      epoch_ops_(epoch_ops == 0 ? 1 : epoch_ops),
+      epoch_start_(now_steps)
+{
+    ring_.reserve(ring_entries_);
+}
+
+void
+DirtyRing::harvest()
+{
+    stats_.harvests.inc();
+    for (std::uint64_t gfn : ring_)
+        epoch_pages_.insert(gfn);
+    ring_.clear();
+}
+
+void
+DirtyRing::maybe_close_epoch(std::uint64_t now_steps)
+{
+    if (now_steps - epoch_start_ < epoch_ops_)
+        return;
+    harvest();
+    estimate_ = epoch_pages_.size();
+    has_estimate_ = true;
+    epoch_pages_.clear();
+    stats_.epochs.inc();
+    epoch_start_ = now_steps;
+}
+
+}  // namespace ptm::obs

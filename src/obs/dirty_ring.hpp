@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-VM dirty ring: PML-style working-set estimation (PAPERS.md, the
+ * Intel Page-Modification-Logging study).
+ *
+ * Hardware PML writes the GPA of every dirtied page into a small ring
+ * the hypervisor harvests when it fills; the harvested stream, sliced
+ * into epochs, gives a distinct-dirty-page count — an estimate of the
+ * VM's write working set that needs no guest cooperation. The simulator
+ * mirrors that shape: System logs the gfn of every retired write walk
+ * into the owning VM's ring (a single armed-flag check when disarmed,
+ * the TraceSink discipline), rings harvest into a per-epoch distinct
+ * set, and the epoch closes by op count, publishing the estimate that
+ * OvercommitPolicy's reclaim daemon uses to pick ballooning victims by
+ * idle memory instead of slot order.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace ptm::obs {
+
+class StatRegistry;
+
+/// Ring-activity counters, registered under "vm<K>.dirty_ring".
+struct DirtyRingStats {
+    Counter logged;    ///< write walks recorded
+    Counter harvests;  ///< ring-full drains into the epoch set
+    Counter epochs;    ///< closed epochs (estimate publications)
+
+    void register_stats(StatRegistry &registry,
+                        const std::string &prefix);
+};
+
+/**
+ * One VM's dirty ring. log() is the hot-path entry (the caller already
+ * checked the armed flag); epochs close from the slow path
+ * (maybe_close_epoch, called between scheduler slices), so an estimate
+ * is always a full epoch's distinct count — including 0 for a VM that
+ * wrote nothing, which is exactly the signal the reclaim daemon wants.
+ */
+class DirtyRing {
+  public:
+    DirtyRing(std::size_t ring_entries, std::uint64_t epoch_ops,
+              std::uint64_t now_steps);
+
+    /// Record one dirtied guest frame (write walk retired).
+    void
+    log(std::uint64_t gfn)
+    {
+        stats_.logged.inc();
+        ring_.push_back(gfn);
+        if (ring_.size() >= ring_entries_)
+            harvest();
+    }
+
+    /// Close the current epoch if @p now_steps says it is over.
+    void maybe_close_epoch(std::uint64_t now_steps);
+
+    /// True once one full epoch has been observed.
+    bool has_estimate() const { return has_estimate_; }
+    /// Distinct pages dirtied in the last closed epoch.
+    std::uint64_t estimate_pages() const { return estimate_; }
+
+    DirtyRingStats &stats() { return stats_; }
+    const DirtyRingStats &stats() const { return stats_; }
+
+  private:
+    void harvest();
+
+    std::size_t ring_entries_;
+    std::uint64_t epoch_ops_;
+    std::uint64_t epoch_start_;
+    std::vector<std::uint64_t> ring_;
+    std::unordered_set<std::uint64_t> epoch_pages_;
+    std::uint64_t estimate_ = 0;
+    bool has_estimate_ = false;
+    DirtyRingStats stats_;
+};
+
+}  // namespace ptm::obs

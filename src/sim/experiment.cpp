@@ -16,18 +16,17 @@
 
 namespace ptm::sim {
 
-namespace detail {
-const char *
-policy_enum_name(PagePolicy policy)
+ScenarioConfig &
+ScenarioConfig::with_workload(const std::string &name)
 {
-    switch (policy) {
-      case PagePolicy::Buddy: return "buddy";
-      case PagePolicy::Ptemagnet: return "ptemagnet";
-      case PagePolicy::ThpLike: return "thp";
+    if (!workload::workload_registered(name)) {
+        // Fail the same way run_scenario would, but at config-build time;
+        // make_workload throws the SimError listing registered names.
+        workload::make_workload(name, {});
     }
-    return "?";
+    victim = name;
+    return *this;
 }
-}  // namespace detail
 
 ScenarioConfig &
 ScenarioConfig::with_policy(const std::string &name)
@@ -139,6 +138,8 @@ run_scenario(const ScenarioConfig &config)
     }
     system.set_overcommit(config.overcommit);  // no-op unless armed
     system.set_churn_plan(config.churn);       // no-op unless armed
+    if (config.dirty_ring.armed())
+        system.arm_dirty_ring(config.dirty_ring);
 
     workload::WorkloadOptions options;
     options.scale = config.scale;
@@ -169,7 +170,13 @@ run_scenario(const ScenarioConfig &config)
         return workload::make_workload(name, opt);
     };
 
-    Job &victim = system.add_job(job_workload(config.victim, options, 0));
+    // Only the victim sees the config's workload knobs; co-runners keep
+    // their registered defaults (their streams — and StreamCache keys —
+    // stay identical across victim-param sweeps).
+    workload::WorkloadOptions victim_options = options;
+    victim_options.params = config.workload_params;
+    Job &victim =
+        system.add_job(job_workload(config.victim, victim_options, 0));
     unsigned worker_index = 0;
     for (const CorunnerSpec &spec : config.corunners) {
         for (unsigned w = 0; w < spec.workers; ++w) {
@@ -354,6 +361,10 @@ run_scenario(const ScenarioConfig &config)
             rec.backed_pages = slot.alive ? slot.vm->backed_pages()
                                           : slot.backed_pages_at_kill;
             rec.oom_events = slot.guest->stats().oom_events.value();
+            if (const obs::DirtyRing *ring = system.dirty_ring(k);
+                ring != nullptr && ring->has_estimate()) {
+                rec.ws_estimate_pages = ring->estimate_pages();
+            }
             for (const auto &job : system.jobs()) {
                 if (job->vm_index() != k)
                     continue;
@@ -383,6 +394,34 @@ run_scenario(const ScenarioConfig &config)
                 "churn_boots",
                 static_cast<double>(result.churn_boots));
         }
+    }
+
+    if (system.dirty_ring_armed()) {
+        result.dirty_ring_armed = true;
+        for (unsigned k = 0; k < system.num_vms(); ++k) {
+            const obs::DirtyRing *ring = system.dirty_ring(k);
+            if (ring == nullptr)
+                continue;
+            result.dirty_ring_logged += ring->stats().logged.value();
+            result.dirty_ring_harvests += ring->stats().harvests.value();
+            result.dirty_ring_epochs += ring->stats().epochs.value();
+        }
+        if (const obs::DirtyRing *ring = system.dirty_ring(0);
+            ring != nullptr && ring->has_estimate()) {
+            result.ws_estimate_pages = ring->estimate_pages();
+        }
+        result.ws_guided_sweeps =
+            system.overcommit_stats().ws_guided_sweeps.value();
+        // Armed-only metric growth, same contract as the fault-plan and
+        // overcommit blocks: disarmed runs keep the golden metric set.
+        result.metrics.set("dirty_ring_logged",
+                           static_cast<double>(result.dirty_ring_logged));
+        result.metrics.set("dirty_ring_epochs",
+                           static_cast<double>(result.dirty_ring_epochs));
+        result.metrics.set("ws_estimate_pages",
+                           static_cast<double>(result.ws_estimate_pages));
+        result.metrics.set("ws_guided_sweeps",
+                           static_cast<double>(result.ws_guided_sweeps));
     }
 
     if (!config.trace_record.empty())
@@ -418,7 +457,6 @@ run_paired(ScenarioConfig config)
 
     PairedResult result;
     ScenarioConfig baseline = config;
-    baseline.policy = PagePolicy::Buddy;
     baseline.policy_name = "buddy";
     result.baseline = run_scenario(baseline);
     config.policy_name = treatment;

@@ -31,34 +31,6 @@ namespace ptm::sim {
 using workload::CorunnerSpec;
 
 /**
- * Guest physical-page allocation policy of a run.
- *
- * Deprecated as a configuration surface: policies are now chosen by
- * factory name (ScenarioConfig::policy_name, vm::make_provider) so new
- * policies need no enum edits. The enum survives one PR as a shim for
- * configs that still set ScenarioConfig::policy.
- */
-enum class PagePolicy {
-    Buddy,      ///< default kernel: plain buddy allocation
-    Ptemagnet,  ///< the paper's reservation-based policy
-    ThpLike,    ///< eager 2 MiB backing (§2.3 comparison point)
-};
-
-namespace detail {
-/// Factory name of the legacy enum value ("buddy"/"ptemagnet"/"thp").
-const char *policy_enum_name(PagePolicy policy);
-}  // namespace detail
-
-/// Deprecated: policies are named strings now; use
-/// ScenarioConfig::resolved_policy() / the name directly.
-[[deprecated("use ScenarioConfig::policy_name strings")]]
-inline const char *
-page_policy_name(PagePolicy policy)
-{
-    return detail::policy_enum_name(policy);
-}
-
-/**
  * One co-resident guest VM of a multi-VM scenario (VM 1..N-1; VM 0 is
  * the victim's VM, described by the top-level config fields). Empty /
  * zero fields inherit the scenario's corresponding value.
@@ -86,12 +58,14 @@ struct VmSpec {
  *                     .with_measure_ops(600'000)
  */
 struct ScenarioConfig {
-    std::string victim = "pagerank";    ///< catalog name
+    /// Victim workload by factory name (workload::make_workload).
+    std::string victim = "pagerank";
+    /// Victim-specific generator knobs, forwarded to the workload
+    /// factory (co-runners use their registered defaults).
+    workload::WorkloadParams workload_params;
     std::vector<CorunnerSpec> corunners;
-    /// Legacy enum knob; consulted only while policy_name is empty.
-    PagePolicy policy = PagePolicy::Buddy;
     /// Allocation policy by factory name (vm::make_provider); empty
-    /// means "fall back to the legacy enum" (i.e. "buddy" by default).
+    /// means "buddy".
     std::string policy_name;
     /// Policy-specific knobs, forwarded to the provider factory.
     PolicyParams policy_params;
@@ -147,6 +121,9 @@ struct ScenarioConfig {
     /// Seeded VM churn schedule (boot/kill/fork storms); inert unless
     /// armed(). Incompatible with trace record/replay.
     ChurnPlan churn;
+    /// Per-VM dirty rings + working-set-guided reclaim; inert unless
+    /// armed() — disarmed runs are bit-identical to pre-ring builds.
+    DirtyRingConfig dirty_ring;
     PlatformConfig platform;
 
     // ---- fluent setters --------------------------------------------
@@ -154,6 +131,19 @@ struct ScenarioConfig {
     with_victim(std::string name)
     {
         victim = std::move(name);
+        return *this;
+    }
+    /**
+     * Select the victim workload by factory name, fail-fast: unknown
+     * names throw immediately instead of at run time.
+     * @throws SimError listing registered names if @p name is unknown.
+     */
+    ScenarioConfig &with_workload(const std::string &name);
+    /// Set one victim-workload knob (repeatable).
+    ScenarioConfig &
+    with_workload_param(const std::string &key, double value)
+    {
+        workload_params.set(key, value);
         return *this;
     }
     ScenarioConfig &
@@ -181,13 +171,6 @@ struct ScenarioConfig {
      * @throws SimError listing registered names if @p name is unknown.
      */
     ScenarioConfig &with_policy(const std::string &name);
-    /// Deprecated: select policies by factory name.
-    [[deprecated("use with_policy(\"name\")")]] ScenarioConfig &
-    with_policy(PagePolicy p)
-    {
-        policy = p;
-        return *this;
-    }
     /// Set one policy-specific knob (repeatable).
     ScenarioConfig &
     with_policy_param(const std::string &key, double value)
@@ -211,7 +194,6 @@ struct ScenarioConfig {
     ScenarioConfig &
     with_ptemagnet(unsigned group_pages = kPagesPerReservation)
     {
-        policy = PagePolicy::Ptemagnet;
         policy_name = "ptemagnet";
         reservation_pages = group_pages;
         return *this;
@@ -312,15 +294,20 @@ struct ScenarioConfig {
         churn = std::move(plan);
         return *this;
     }
+    ScenarioConfig &
+    with_dirty_ring(DirtyRingConfig config)
+    {
+        dirty_ring = config;
+        return *this;
+    }
 
     // ---- resolution -------------------------------------------------
     /// Factory name this run will use: policy_name when set, else the
-    /// legacy enum's name.
+    /// "buddy" default.
     std::string
     resolved_policy() const
     {
-        return policy_name.empty() ? detail::policy_enum_name(policy)
-                                   : policy_name;
+        return policy_name.empty() ? "buddy" : policy_name;
     }
     /// Policy params with legacy knobs folded in (reservation_pages
     /// becomes "group_pages" for ptemagnet runs).
@@ -378,6 +365,9 @@ struct VmRecord {
     std::uint64_t walk_cycles = 0;         ///< summed over the VM's jobs
     std::uint64_t ops = 0;                 ///< summed over the VM's jobs
     std::uint64_t oom_events = 0;          ///< guest-side unserviceable faults
+    /// Last closed dirty-ring epoch's distinct-dirty-page count (0 when
+    /// the ring is disarmed or no epoch closed).
+    std::uint64_t ws_estimate_pages = 0;
 };
 
 /// Everything a run reports.
@@ -424,6 +414,15 @@ struct ScenarioResult {
     std::uint64_t churn_kills = 0;
     std::uint64_t churn_forks = 0;
     std::uint64_t churn_boot_failures = 0;
+
+    // ---- dirty-ring working-set estimation (populated only when the
+    // config's dirty_ring is armed; zero otherwise) --------------------
+    bool dirty_ring_armed = false;
+    std::uint64_t dirty_ring_logged = 0;    ///< write walks recorded
+    std::uint64_t dirty_ring_harvests = 0;  ///< ring drains
+    std::uint64_t dirty_ring_epochs = 0;    ///< closed epochs (all VMs)
+    std::uint64_t ws_estimate_pages = 0;    ///< VM 0's last estimate
+    std::uint64_t ws_guided_sweeps = 0;     ///< ws-ordered balloon sweeps
 
     // ---- simulator-performance provenance (host-side, NOT simulated
     // state: excluded from the determinism comparisons) ---------------

@@ -15,6 +15,7 @@ OvercommitStats::register_stats(obs::StatRegistry &registry,
     registry.counter(prefix + ".backoff_waits", &backoff_waits);
     registry.counter(prefix + ".balloon_pages", &balloon_pages);
     registry.counter(prefix + ".frames_unbacked", &frames_unbacked);
+    registry.counter(prefix + ".ws_guided_sweeps", &ws_guided_sweeps);
     registry.counter(prefix + ".oom_kills", &oom_kills);
     registry.counter(prefix + ".churn_boots", &churn_boots);
     registry.counter(prefix + ".churn_kills", &churn_kills);

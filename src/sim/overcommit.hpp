@@ -91,6 +91,45 @@ struct OvercommitPolicy {
     }
 };
 
+/**
+ * Per-VM dirty-ring arming (obs/dirty_ring.hpp). Inert unless armed():
+ * a disarmed System never touches a ring on the hot path, keeping
+ * single-VM golden snapshots byte-stable. When armed alongside an
+ * OvercommitPolicy and reclaim_by_ws, the reclaim daemon balloons VMs
+ * in descending idle-memory order (backed frames minus the last epoch's
+ * working-set estimate) instead of slot order.
+ */
+struct DirtyRingConfig {
+    /// Ring capacity in entries; 0 disarms dirty logging entirely.
+    std::uint64_t ring_entries = 0;
+    /// Simulated ops per estimation epoch.
+    std::uint64_t epoch_ops = 65536;
+    /// Feed the estimate to the reclaim daemon's sweep order.
+    bool reclaim_by_ws = true;
+
+    bool armed() const { return ring_entries > 0; }
+
+    // ---- fluent setters --------------------------------------------
+    DirtyRingConfig &
+    with_ring_entries(std::uint64_t entries)
+    {
+        ring_entries = entries;
+        return *this;
+    }
+    DirtyRingConfig &
+    with_epoch_ops(std::uint64_t ops)
+    {
+        epoch_ops = ops;
+        return *this;
+    }
+    DirtyRingConfig &
+    with_reclaim_by_ws(bool enabled)
+    {
+        reclaim_by_ws = enabled;
+        return *this;
+    }
+};
+
 /// Host-side overcommit + churn activity, registered under
 /// "host.overcommit.*" when the policy (or a churn plan) is armed.
 struct OvercommitStats {
@@ -99,6 +138,7 @@ struct OvercommitStats {
     Counter backoff_waits;        ///< ticks skipped below the watermark
     Counter balloon_pages;        ///< guest frames taken by balloons
     Counter frames_unbacked;      ///< host frames freed by balloon sweeps
+    Counter ws_guided_sweeps;     ///< sweeps ordered by dirty-ring idle
     Counter oom_kills;
     Counter churn_boots;
     Counter churn_kills;

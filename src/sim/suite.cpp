@@ -55,6 +55,10 @@ apply_sweep_param(ScenarioConfig &config, const std::string &param,
         config.with_table(value);
         return;
     }
+    if (param == "workload") {
+        config.with_workload(value);
+        return;
+    }
     char *end = nullptr;
     double numeric = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0')
@@ -337,7 +341,6 @@ ExperimentSuite::run(const SuiteOptions &options) const
                 // pool executes them concurrently, unlike run_paired.
                 pool.submit([&run_leg, &slot]() {
                     ScenarioConfig config = slot.entry.config;
-                    config.policy = PagePolicy::Buddy;
                     config.policy_name = "buddy";
                     run_leg(slot, slot.paired.baseline, std::move(config));
                 });
@@ -411,6 +414,12 @@ to_json(const ScenarioConfig &config)
 {
     Json j = Json::object();
     j.set("victim", config.victim);
+    if (!config.workload_params.empty()) {
+        Json params = Json::object();
+        for (const auto &[key, value] : config.workload_params.entries())
+            params.set(key, value);
+        j.set("workload_params", std::move(params));
+    }
     Json corunners = Json::array();
     for (const CorunnerSpec &spec : config.corunners) {
         Json c = Json::object();
@@ -473,6 +482,14 @@ to_json(const ScenarioConfig &config)
                       config.churn.count(ChurnAction::Fork));
             j.set("churn", std::move(churn));
         }
+    }
+    // Same only-when-armed contract as the multi-VM axes above.
+    if (config.dirty_ring.armed()) {
+        Json ring = Json::object();
+        ring.set("ring_entries", config.dirty_ring.ring_entries);
+        ring.set("epoch_ops", config.dirty_ring.epoch_ops);
+        ring.set("reclaim_by_ws", config.dirty_ring.reclaim_by_ws);
+        j.set("dirty_ring", std::move(ring));
     }
     return j;
 }
@@ -540,9 +557,23 @@ to_json(const ScenarioResult &result)
             v.set("walk_cycles", rec.walk_cycles);
             v.set("ops", rec.ops);
             v.set("oom_events", rec.oom_events);
+            // Present only under an armed ring, so pre-ring multi-VM
+            // documents keep their exact per-VM shape.
+            if (result.dirty_ring_armed)
+                v.set("ws_estimate_pages", rec.ws_estimate_pages);
             vms.push_back(std::move(v));
         }
         rob.set("vms", std::move(vms));
+    }
+    // Working-set estimation telemetry, present only under an armed ring.
+    if (result.dirty_ring_armed) {
+        Json ring = Json::object();
+        ring.set("logged", result.dirty_ring_logged);
+        ring.set("harvests", result.dirty_ring_harvests);
+        ring.set("epochs", result.dirty_ring_epochs);
+        ring.set("ws_estimate_pages", result.ws_estimate_pages);
+        ring.set("ws_guided_sweeps", result.ws_guided_sweeps);
+        rob.set("dirty_ring", std::move(ring));
     }
     j.set("robustness", std::move(rob));
 
@@ -659,8 +690,23 @@ scenario_result_from_json(const Json &json)
                 rec.walk_cycles = v.at("walk_cycles").as_u64();
                 rec.ops = v.at("ops").as_u64();
                 rec.oom_events = v.at("oom_events").as_u64();
+                if (v.contains("ws_estimate_pages"))
+                    rec.ws_estimate_pages =
+                        v.at("ws_estimate_pages").as_u64();
                 result.vms.push_back(std::move(rec));
             }
+        }
+        // Pre-ring BENCH files lack the block; leave the zeros.
+        if (rob.contains("dirty_ring")) {
+            const Json &ring = rob.at("dirty_ring");
+            result.dirty_ring_armed = true;
+            result.dirty_ring_logged = ring.at("logged").as_u64();
+            result.dirty_ring_harvests = ring.at("harvests").as_u64();
+            result.dirty_ring_epochs = ring.at("epochs").as_u64();
+            result.ws_estimate_pages =
+                ring.at("ws_estimate_pages").as_u64();
+            result.ws_guided_sweeps =
+                ring.at("ws_guided_sweeps").as_u64();
         }
     }
 

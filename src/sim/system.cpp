@@ -180,6 +180,8 @@ System::boot_slot(std::uint64_t guest_frames, bool churn_booted)
         slot->guest->buddy().set_alloc_gate(injector_->guest_gate());
         slot->guest->set_pressure_agent(injector_);
     }
+    if (dirty_log_armed_)
+        attach_dirty_ring(*slot);
 
     slots_.push_back(std::move(slot));
     return index;
@@ -270,6 +272,38 @@ System::set_churn_plan(const ChurnPlan &plan)
     churn_ = plan;
     churn_cursor_ = 0;
     register_overcommit_stats();
+}
+
+void
+System::attach_dirty_ring(VmSlot &slot)
+{
+    slot.dirty_ring = std::make_unique<obs::DirtyRing>(
+        dirty_ring_cfg_.ring_entries, dirty_ring_cfg_.epoch_ops,
+        total_steps_);
+    slot.dirty_ring->stats().register_stats(registry_,
+                                            slot.prefix + ".dirty_ring");
+}
+
+void
+System::arm_dirty_ring(const DirtyRingConfig &config)
+{
+    if (dirty_log_armed_)
+        ptm_fatal("dirty ring already armed");
+    if (!config.armed())
+        return;
+    dirty_ring_cfg_ = config;
+    dirty_log_armed_ = true;
+    for (auto &slot : slots_)
+        attach_dirty_ring(*slot);  // VMs booted later attach in boot_slot
+}
+
+void
+System::close_dirty_epochs()
+{
+    for (auto &slot : slots_) {
+        if (slot->alive)
+            slot->dirty_ring->maybe_close_epoch(total_steps_);
+    }
 }
 
 void
@@ -387,12 +421,35 @@ std::uint64_t
 System::reclaim_sweep(std::uint64_t target)
 {
     ocstats_.reclaim_sweeps.inc();
-    std::uint64_t freed = 0;
+    sweep_scratch_.clear();
     for (auto &slot : slots_) {
+        if (slot->alive)
+            sweep_scratch_.push_back(slot.get());
+    }
+    if (dirty_log_armed_ && dirty_ring_cfg_.reclaim_by_ws) {
+        // Balloon idle VMs first: idle = backed frames beyond the last
+        // epoch's working-set estimate. A VM with no closed epoch yet is
+        // assumed all-hot (idle 0); stable sort keeps slot order on ties
+        // so the disabled and no-estimate cases degrade to the historic
+        // index-order sweep.
+        ocstats_.ws_guided_sweeps.inc();
+        auto idle = [](const VmSlot *slot) -> std::uint64_t {
+            const obs::DirtyRing &ring = *slot->dirty_ring;
+            if (!ring.has_estimate())
+                return 0;
+            const std::uint64_t backed = slot->vm->backed_pages();
+            const std::uint64_t ws = ring.estimate_pages();
+            return backed > ws ? backed - ws : 0;
+        };
+        std::stable_sort(sweep_scratch_.begin(), sweep_scratch_.end(),
+                         [&idle](const VmSlot *a, const VmSlot *b) {
+                             return idle(a) > idle(b);
+                         });
+    }
+    std::uint64_t freed = 0;
+    for (VmSlot *slot : sweep_scratch_) {
         if (freed >= target)
             break;
-        if (!slot->alive)
-            continue;
         balloon_scratch_.clear();
         std::uint64_t taken = slot->guest->balloon_inflate(
             overcommit_.balloon_step, balloon_scratch_);
@@ -411,6 +468,10 @@ void
 System::reclaim_daemon_tick()
 {
     ++reclaim_ticks_;
+    // Estimates stay fresh on the daemon's own clock so ws-guided
+    // sweeps see current epochs even in chunks with no churn tick.
+    if (dirty_log_armed_)
+        close_dirty_epochs();
     const std::uint64_t free = host_->buddy().free_frames_count();
     if (free >= overcommit_.low_watermark_frames)
         return;
@@ -565,6 +626,8 @@ System::churn_fork()
 void
 System::churn_tick()
 {
+    if (dirty_log_armed_)
+        close_dirty_epochs();
     while (churn_cursor_ < churn_.events.size() &&
            churn_.events[churn_cursor_].at_step <= total_steps_) {
         const ChurnEvent &event = churn_.events[churn_cursor_++];
@@ -612,6 +675,12 @@ System::step(Job &job)
     mmu::TranslationResult trans =
         job.walker_->translate(job.guest_ctx_, op->gva);
     cycles += trans.cycles;
+
+    // PML model: hardware logs the dirtied GPA when a *write walk*
+    // retires — TLB hits set no dirty bit worth logging (and gfn is only
+    // learned by walks anyway). Same condition as the batched path.
+    if (dirty_log_armed_ && op->write && !trans.tlb_hit)
+        job.slot_->dirty_ring->log(trans.gfn);
 
     Addr hpa = trans.hfn * kPageSize + (op->gva & kPageOffsetMask);
     cache::AccessResult data =
@@ -692,6 +761,10 @@ System::step_batch_impl(Job &job, unsigned max_ops)
                 walker.translate_l1_missed(job.guest_ctx_, op.gva);
             cycles += trans.cycles;
             hfn = trans.hfn;
+            // Mirrors the serial step(): L1 hits above never log, and
+            // trans.tlb_hit here covers the L2 hit case.
+            if (dirty_log_armed_ && op.write && !trans.tlb_hit)
+                job.slot_->dirty_ring->log(trans.gfn);
         }
         if constexpr (Timed) {
             Clock::time_point t1 = Clock::now();

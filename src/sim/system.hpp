@@ -24,6 +24,7 @@
 #include "common/stats.hpp"
 #include "host/host_kernel.hpp"
 #include "mmu/nested_walker.hpp"
+#include "obs/dirty_ring.hpp"
 #include "obs/stat_registry.hpp"
 #include "sim/overcommit.hpp"
 #include "sim/platform.hpp"
@@ -95,6 +96,9 @@ struct VmSlot {
     /// Host frames freed when the VM was killed (0 while alive).
     std::uint64_t frames_repossessed = 0;
     std::uint64_t backed_pages_at_kill = 0;
+    /// PML-style dirty ring; null unless System::arm_dirty_ring was
+    /// called with an armed config.
+    std::unique_ptr<obs::DirtyRing> dirty_ring;
 };
 
 /**
@@ -230,6 +234,24 @@ class System {
      */
     void set_churn_plan(const ChurnPlan &plan);
     bool churn_armed() const { return churn_.armed(); }
+
+    /**
+     * Arm per-VM dirty rings (call at most once, before running; a
+     * config with armed() == false is a no-op). Every current and
+     * future VM gets a ring registered under "vm<K>.dirty_ring"; the
+     * stepper logs the gfn of each retired write walk into the owning
+     * VM's ring, epochs close on the churn/reclaim slow paths, and —
+     * with reclaim_by_ws — balloon sweeps visit VMs in descending
+     * idle-memory order. Disarmed, the hot path pays one bool check.
+     */
+    void arm_dirty_ring(const DirtyRingConfig &config);
+    bool dirty_ring_armed() const { return dirty_log_armed_; }
+    /// VM @p index's ring, or nullptr when disarmed.
+    const obs::DirtyRing *
+    dirty_ring(unsigned index) const
+    {
+        return slot_at(index).dirty_ring.get();
+    }
 
     /**
      * Apply every churn event whose at_step has been reached. Must be
@@ -469,6 +491,10 @@ class System {
     int choose_oom_victim(unsigned faulting_index) const;
     void register_overcommit_stats();
 
+    // ---- dirty-ring internals --------------------------------------
+    void attach_dirty_ring(VmSlot &slot);
+    void close_dirty_epochs();
+
     void churn_boot();
     void churn_kill();
     void churn_fork();
@@ -519,6 +545,11 @@ class System {
     std::uint64_t next_sweep_tick_ = 0;
     std::uint64_t backoff_ = 0;
     std::vector<std::uint64_t> balloon_scratch_;
+    std::vector<VmSlot *> sweep_scratch_;
+
+    // Dirty-ring state (inert unless arm_dirty_ring armed it).
+    DirtyRingConfig dirty_ring_cfg_;
+    bool dirty_log_armed_ = false;  ///< hot-path flag for the stepper
 
     // Churn engine state.
     ChurnPlan churn_;

@@ -22,14 +22,6 @@ scaled(double megabytes, double scale)
     return bytes < kPageSize ? kPageSize : page_ceil(bytes);
 }
 
-std::uint64_t
-mix_seed(const std::string &name, std::uint64_t seed)
-{
-    std::uint64_t h = std::hash<std::string>{}(name);
-    std::uint64_t s = seed + 0x9e3779b97f4a7c15ULL;
-    return h ^ splitmix64(s);
-}
-
 using Builder = std::function<void(SyntheticWorkload &, double scale)>;
 
 /**
@@ -236,19 +228,31 @@ builders()
 
 }  // namespace
 
-std::unique_ptr<SyntheticWorkload>
-make_workload(const std::string &name, const WorkloadOptions &options)
+namespace detail {
+
+void
+register_catalog_workloads()
 {
-    auto it = builders().find(name);
-    if (it == builders().end())
-        ptm_fatal("unknown workload '%s'", name.c_str());
-    auto w = std::make_unique<SyntheticWorkload>(
-        name, mix_seed(name, options.seed));
-    it->second(*w, options.scale);
-    if (options.total_ops != 0)
-        w->set_total_ops(options.total_ops);
-    return w;
+    for (const auto &[name, builder] : builders()) {
+        // Capture by value: the builders() map outlives everything, but
+        // the loop variables do not.
+        const std::string workload_name = name;
+        const Builder build = builder;
+        register_workload(
+            workload_name,
+            [workload_name, build](const WorkloadOptions &options) {
+                auto w = std::make_unique<SyntheticWorkload>(
+                    workload_name,
+                    mix_seed(workload_name, options.seed));
+                build(*w, options.scale);
+                if (options.total_ops != 0)
+                    w->set_total_ops(options.total_ops);
+                return w;
+            });
+    }
 }
+
+}  // namespace detail
 
 const std::vector<std::string> &
 benchmark_names()

@@ -10,13 +10,12 @@
  */
 #pragma once
 
-#include <cstdint>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "workload/synthetic.hpp"
+#include "workload/workload_factory.hpp"
 
 namespace ptm::workload {
 
@@ -27,26 +26,16 @@ struct CorunnerSpec {
     unsigned workers = 1;
 };
 
-/// Knobs shared by all presets.
-struct WorkloadOptions {
-    double scale = 1.0;        ///< footprint multiplier
-    std::uint64_t seed = 1;    ///< RNG seed (combined with the name hash)
-    std::uint64_t total_ops = 0;  ///< override compute-op budget (0: keep
-                                  ///< the preset default / infinite)
-};
-
-/**
- * Build a workload by catalog name. Known names:
- *  - benchmarks: cc, bfs, nibble, pagerank, gcc, mcf, omnetpp, xz
- *  - low-TLB-pressure SPEC'17 Int class: perlbench, x264, deepsjeng,
- *    leela, exchange2, xalancbmk
- *  - co-runners: objdet, stress-ng, chameleon, pyaes, json_serdes,
- *    rnn_serving (gcc and xz double as co-runners, per Table 3)
- *  - microbenchmarks: alloc_sweep (§6.4)
- * Unknown names are fatal.
- */
-std::unique_ptr<SyntheticWorkload>
-make_workload(const std::string &name, const WorkloadOptions &options = {});
+// Catalog presets are built through workload_factory.hpp's
+// make_workload(). Registered catalog names:
+//  - benchmarks: cc, bfs, nibble, pagerank, gcc, mcf, omnetpp, xz
+//  - low-TLB-pressure SPEC'17 Int class: perlbench, x264, deepsjeng,
+//    leela, exchange2, xalancbmk
+//  - co-runners: objdet, stress-ng, chameleon, pyaes, json_serdes,
+//    rnn_serving (gcc and xz double as co-runners, per Table 3)
+//  - microbenchmarks: alloc_sweep (§6.4)
+// The serving tier (kv_tier, fork_storm, ws_estimate) registers from
+// serving.cpp.
 
 /// The eight evaluated benchmarks, in the paper's figure order.
 const std::vector<std::string> &benchmark_names();

@@ -73,7 +73,7 @@ class SyntheticWorkload final : public Workload {
     std::string name() const override { return name_; }
 
     /// Total bytes of the static regions (footprint knob introspection).
-    Addr static_footprint() const;
+    Addr static_footprint() const override;
 
   private:
     struct Binding {

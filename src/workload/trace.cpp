@@ -602,11 +602,20 @@ StreamCache::replay(const std::string &name,
                     const WorkloadOptions &options)
 {
     // Exact key: hex-float scale avoids decimal rounding collisions.
-    char key[256];
-    std::snprintf(key, sizeof key, "%s|%llu|%a|%llu", name.c_str(),
+    // Generator params are appended only when present, so every
+    // pre-params key stays byte-identical.
+    char base[256];
+    std::snprintf(base, sizeof base, "%s|%llu|%a|%llu", name.c_str(),
                   static_cast<unsigned long long>(options.seed),
                   options.scale,
                   static_cast<unsigned long long>(options.total_ops));
+    std::string key = base;
+    for (const auto &[pkey, pvalue] : options.params.entries()) {
+        char param[128];
+        std::snprintf(param, sizeof param, "|%s=%a", pkey.c_str(),
+                      pvalue);
+        key += param;
+    }
 
     std::shared_ptr<Entry> entry;
     {

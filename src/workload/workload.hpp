@@ -94,6 +94,10 @@ class Workload {
     virtual bool in_init_phase() const = 0;
 
     virtual std::string name() const = 0;
+
+    /// Total bytes of statically declared regions (footprint knob
+    /// introspection); 0 for generators whose footprint is dynamic.
+    virtual Addr static_footprint() const { return 0; }
 };
 
 }  // namespace ptm::workload

@@ -250,5 +250,141 @@ TEST(MultiVmScenario, ChurnStormRunsDeterministically)
     }
 }
 
+struct WsReclaimOutcome {
+    std::vector<std::uint64_t> balloon_pages;  // per VM, guest frames taken
+    std::vector<std::uint64_t> ws_estimate;    // per VM, last closed epoch
+    std::uint64_t ws_guided_sweeps = 0;
+    std::uint64_t reclaim_sweeps = 0;
+};
+
+/**
+ * Three VMs under an armed dirty ring: VM 0 runs a hot in-place writer
+ * (plus a late-starting job to generate armed host faults), VM 1 runs a
+ * touch-then-free churner that finishes and goes idle with a large
+ * backed-but-free surplus, VM 2 runs another hot writer. When the
+ * reclaim daemon arms mid-run, a ws-guided sweep must balloon the idle
+ * VM 1 — not the lower-indexed hot VM 0 that the historic index-order
+ * sweep would hit first.
+ */
+WsReclaimOutcome
+run_ws_reclaim(bool reclaim_by_ws)
+{
+    PlatformConfig platform;
+    platform.guest_frames = 4096;
+    platform.host_frames = 32 * 1024;
+
+    System system(platform, 4);
+    for (unsigned k = 1; k < 3; ++k)
+        system.boot_vm();
+    system.arm_dirty_ring(DirtyRingConfig{}
+                              .with_ring_entries(256)
+                              .with_epoch_ops(2048)
+                              .with_reclaim_by_ws(reclaim_by_ws));
+
+    auto hot_options = [](std::uint64_t seed) {
+        workload::WorkloadOptions options;
+        options.seed = seed;
+        options.params.set("heap_mb", 4.0);
+        options.params.set("hot_pages", 256.0);
+        return options;
+    };
+    Job &hot0 = system.add_job(
+        0, workload::make_workload("ws_estimate", hot_options(11)));
+    system.add_job(
+        2, workload::make_workload("ws_estimate", hot_options(13)));
+
+    workload::WorkloadOptions churny;
+    churny.seed = 12;
+    churny.scale = 1.0;
+    churny.total_ops = 25'000;
+    Job &idle1 =
+        system.add_job(1, workload::make_workload("stress-ng", churny));
+
+    // The fault source: paused through the warm phases, its init sweep
+    // later faults fresh pages so the armed daemon actually ticks.
+    workload::WorkloadOptions late_options = hot_options(14);
+    late_options.params.set("heap_mb", 8.0);
+    Job &late = system.add_job(
+        0, workload::make_workload("ws_estimate", late_options));
+    late.set_paused(true);
+
+    // Phase 1: VM 1 churns through its footprint, then finishes.
+    system.run_until([&idle1]() { return idle1.finished(); });
+    system.churn_tick();
+    // Phase 2: epochs close while VM 1 stays idle — its estimate decays
+    // to zero, the hot VMs keep logging their working sets.
+    for (int i = 0; i < 3; ++i) {
+        system.run_ops(hot0, 3'000);
+        system.churn_tick();
+    }
+
+    // Phase 3: arm the daemon just above the current free-frame level,
+    // then let the late job's init faults drive it below the watermark.
+    const std::uint64_t free_now =
+        system.host().buddy().free_frames_count();
+    system.set_overcommit(OvercommitPolicy{}
+                              .with_watermarks(free_now + 8, free_now + 40)
+                              .with_balloon_step(128)
+                              .with_backoff(1, 4)
+                              .with_oom_kill(false));
+    late.set_paused(false);
+    // A short window: a couple of sweeps, well within the idle VM's
+    // backed-but-free surplus, so victim selection (not exhaustion)
+    // decides who gets ballooned.
+    system.run_ops(late, 64);
+
+    WsReclaimOutcome outcome;
+    for (unsigned k = 0; k < system.num_vms(); ++k) {
+        outcome.balloon_pages.push_back(
+            system.guest(k).stats().balloon_pages_taken.value());
+        const obs::DirtyRing *ring = system.dirty_ring(k);
+        outcome.ws_estimate.push_back(
+            ring != nullptr && ring->has_estimate()
+                ? ring->estimate_pages()
+                : 0);
+    }
+    outcome.ws_guided_sweeps =
+        system.overcommit_stats().ws_guided_sweeps.value();
+    outcome.reclaim_sweeps =
+        system.overcommit_stats().reclaim_sweeps.value();
+    return outcome;
+}
+
+TEST(MultiVmSystem, WsEstimateGuidesReclaimTowardIdleVms)
+{
+    WsReclaimOutcome guided = run_ws_reclaim(/*reclaim_by_ws=*/true);
+    ASSERT_EQ(guided.balloon_pages.size(), 3u);
+    EXPECT_GE(guided.reclaim_sweeps, 1u);
+    EXPECT_GE(guided.ws_guided_sweeps, 1u);
+    EXPECT_EQ(guided.ws_guided_sweeps, guided.reclaim_sweeps);
+
+    // The idle VM went cold (estimate ~0) while the hot VMs kept
+    // logging their working sets.
+    EXPECT_LT(guided.ws_estimate[1], guided.ws_estimate[0]);
+    EXPECT_LT(guided.ws_estimate[1], guided.ws_estimate[2]);
+
+    // Victim selection: every balloon visit went to the idle VM; the
+    // hot VMs — including lower-indexed VM 0, which the historic
+    // index-order sweep would visit first — were never touched.
+    EXPECT_GT(guided.balloon_pages[1], 0u);
+    EXPECT_EQ(guided.balloon_pages[0], 0u);
+    EXPECT_EQ(guided.balloon_pages[2], 0u);
+
+    // Control: the same scenario with guidance off sweeps in slot
+    // order, ballooning hot VM 0 first on every sweep.
+    WsReclaimOutcome indexed = run_ws_reclaim(/*reclaim_by_ws=*/false);
+    EXPECT_EQ(indexed.ws_guided_sweeps, 0u);
+    EXPECT_GE(indexed.reclaim_sweeps, 1u);
+    EXPECT_GT(indexed.balloon_pages[0], 0u);
+    EXPECT_GE(indexed.balloon_pages[0], indexed.balloon_pages[1]);
+
+    // Deterministic: a guided repeat reproduces every number.
+    WsReclaimOutcome again = run_ws_reclaim(/*reclaim_by_ws=*/true);
+    EXPECT_EQ(again.balloon_pages, guided.balloon_pages);
+    EXPECT_EQ(again.ws_estimate, guided.ws_estimate);
+    EXPECT_EQ(again.ws_guided_sweeps, guided.ws_guided_sweeps);
+    EXPECT_EQ(again.reclaim_sweeps, guided.reclaim_sweeps);
+}
+
 }  // namespace
 }  // namespace ptm::sim

@@ -134,13 +134,11 @@ TEST(ScenarioConfigFluent, UnknownNamesThrowAtConfigTime)
     EXPECT_THROW(ScenarioConfig{}.with_table("no_such_table"), SimError);
 }
 
-TEST(ScenarioConfigFluent, LegacyEnumStillResolves)
+TEST(ScenarioConfigFluent, PolicyNameResolution)
 {
     ScenarioConfig config;
+    // An unset name resolves to the buddy baseline.
     EXPECT_EQ(config.resolved_policy(), "buddy");
-    config.policy = PagePolicy::ThpLike;
-    EXPECT_EQ(config.resolved_policy(), "thp");
-    // An explicit name wins over the enum.
     config.policy_name = "ptemagnet";
     EXPECT_EQ(config.resolved_policy(), "ptemagnet");
     // reservation_pages folds into the param bag for ptemagnet runs.
